@@ -1,0 +1,372 @@
+// Command spmvselect is the experiment driver for the sparse-format
+// selection reproduction: it regenerates every table of the paper,
+// exports the synthetic matrix collection, and recommends storage
+// formats for MatrixMarket files.
+//
+// Usage:
+//
+//	spmvselect table -n <1..9> [-quick]   regenerate one paper table
+//	spmvselect tables [-quick]            regenerate every table
+//	spmvselect export -dir DIR [-count N] write the collection as .mtx
+//	spmvselect predict -mtx FILE [-arch Turing] [-quick]
+//	                                      recommend a format for a matrix
+//	spmvselect cpubench -dir DIR          run the pipeline on real measured
+//	                                      host-CPU SpMV times over a
+//	                                      directory of .mtx(.gz) files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cpubench"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/gpusim"
+	"repro/internal/sparse"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "table":
+		err = cmdTable(os.Args[2:], false)
+	case "tables":
+		err = cmdTable(os.Args[2:], true)
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
+	case "cpubench":
+		err = cmdCPUBench(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spmvselect:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  spmvselect table -n <1..9> [-quick]
+  spmvselect tables [-quick]
+  spmvselect export -dir DIR [-count N] [-seed S]
+  spmvselect predict -mtx FILE [-arch Turing] [-quick]
+  spmvselect cpubench -dir DIR [-trials N] [-clusters K]`)
+}
+
+func options(quick bool) eval.Options {
+	if quick {
+		return eval.QuickOptions()
+	}
+	return eval.PaperOptions()
+}
+
+func cmdTable(args []string, all bool) error {
+	fs := flag.NewFlagSet("table", flag.ExitOnError)
+	n := fs.Int("n", 0, "table number (1-9)")
+	quick := fs.Bool("quick", false, "reduced dataset and folds for a fast run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if all {
+		*n = 0
+	} else if *n < 1 || *n > 9 {
+		return fmt.Errorf("table number %d outside 1..9", *n)
+	}
+	opt := options(*quick)
+
+	want := func(k int) bool { return all || *n == k }
+
+	if want(1) {
+		if err := eval.RenderTable1(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if want(2) {
+		if err := eval.RenderTable2(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if !all && *n <= 2 {
+		return nil
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "building corpus (quick=%v)...\n", *quick)
+	env, err := eval.NewEnv(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "corpus ready in %v\n", time.Since(start).Round(time.Millisecond))
+
+	run := func(k int, f func() error) error {
+		if !want(k) {
+			return nil
+		}
+		t0 := time.Now()
+		if err := f(); err != nil {
+			return fmt.Errorf("table %d: %w", k, err)
+		}
+		fmt.Fprintf(os.Stderr, "table %d done in %v\n", k, time.Since(t0).Round(time.Millisecond))
+		fmt.Println()
+		return nil
+	}
+
+	if err := run(3, func() error { return eval.RenderTable3(os.Stdout, eval.Table3(env)) }); err != nil {
+		return err
+	}
+	if err := run(4, func() error {
+		rows, err := eval.Table4(env, opt)
+		if err != nil {
+			return err
+		}
+		return eval.RenderTable4(os.Stdout, rows)
+	}); err != nil {
+		return err
+	}
+	if err := run(5, func() error {
+		rows, err := eval.Table5(env, opt)
+		if err != nil {
+			return err
+		}
+		return eval.RenderTable5(os.Stdout, rows)
+	}); err != nil {
+		return err
+	}
+	if err := run(6, func() error {
+		rows, err := eval.Table6(env, opt)
+		if err != nil {
+			return err
+		}
+		return eval.RenderTable6(os.Stdout, rows)
+	}); err != nil {
+		return err
+	}
+	if err := run(7, func() error {
+		rows, err := eval.Table7(env, opt)
+		if err != nil {
+			return err
+		}
+		return eval.RenderTable7(os.Stdout, rows)
+	}); err != nil {
+		return err
+	}
+	if err := run(8, func() error { return eval.RenderTable8(os.Stdout, eval.Table8(env)) }); err != nil {
+		return err
+	}
+	if err := run(9, func() error {
+		rows, err := eval.Table9(env, opt)
+		if err != nil {
+			return err
+		}
+		return eval.RenderTable9(os.Stdout, rows)
+	}); err != nil {
+		return err
+	}
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	dir := fs.String("dir", "", "output directory (required)")
+	count := fs.Int("count", 50, "number of base matrices")
+	seed := fs.Int64("seed", 1, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("export: -dir is required")
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	items, err := dataset.Generate(dataset.Config{
+		Seed: *seed, BaseCount: *count, Scale: 0.5, DropELLFailures: true,
+	})
+	if err != nil {
+		return err
+	}
+	for _, it := range items {
+		path := filepath.Join(*dir, it.Name+".mtx")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := sparse.WriteMatrixMarket(f, it.Matrix); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d matrices to %s\n", len(items), *dir)
+	return nil
+}
+
+// cmdCPUBench runs the whole pipeline on a directory of MatrixMarket
+// files with genuinely measured host-CPU SpMV times: measure each matrix
+// in every format, train the semi-supervised selector on a 70% split,
+// and report held-out accuracy and speedups. This is the command to
+// point at a directory of real SuiteSparse downloads (.mtx or .mtx.gz).
+func cmdCPUBench(args []string) error {
+	fs := flag.NewFlagSet("cpubench", flag.ExitOnError)
+	dir := fs.String("dir", "", "directory of .mtx / .mtx.gz files (required)")
+	trials := fs.Int("trials", 5, "SpMV repetitions per kernel")
+	clusters := fs.Int("clusters", 40, "number of K-Means clusters")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("cpubench: -dir is required")
+	}
+	entries, err := os.ReadDir(*dir)
+	if err != nil {
+		return err
+	}
+	var names []string
+	var ms []*sparse.CSR
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".mtx") && !strings.HasSuffix(name, ".mtx.gz") {
+			continue
+		}
+		m, err := sparse.ReadMatrixMarketFile(filepath.Join(*dir, name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipping %s: %v\n", name, err)
+			continue
+		}
+		names = append(names, name)
+		ms = append(ms, m)
+	}
+	if len(ms) < 10 {
+		return fmt.Errorf("cpubench: only %d readable matrices in %s; need >= 10", len(ms), *dir)
+	}
+	fmt.Printf("measuring %d matrices x %d formats (%d trials each)...\n",
+		len(ms), sparse.NumKernelFormats, *trials)
+	lab, dropped, err := cpubench.MeasureAll(names, ms, *trials)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d measured, %d dropped (a format was infeasible)\n", len(lab.Names), dropped)
+
+	byName := map[string]*sparse.CSR{}
+	for i, n := range names {
+		byName[n] = ms[i]
+	}
+	kept := make([]*sparse.CSR, len(lab.Names))
+	best := make([]sparse.Format, len(lab.Names))
+	counts := make(map[sparse.Format]int)
+	for i, n := range lab.Names {
+		kept[i] = byName[n]
+		best[i] = sparse.KernelFormats()[lab.Labels[i]]
+		counts[best[i]]++
+	}
+	fmt.Print("best-format distribution:")
+	for _, f := range sparse.KernelFormats() {
+		fmt.Printf("  %v %d", f, counts[f])
+	}
+	fmt.Println()
+	if len(kept) < 10 {
+		return fmt.Errorf("cpubench: only %d measurable matrices; need >= 10", len(kept))
+	}
+
+	cut := len(kept) * 7 / 10
+	sel, err := core.TrainSelector(kept[:cut], best[:cut], core.Options{NumClusters: *clusters, Seed: 1})
+	if err != nil {
+		return err
+	}
+	hit := 0
+	var logCSR float64
+	csrIdx := 1 // KernelFormats order: COO, CSR, ELL, HYB
+	for i := cut; i < len(kept); i++ {
+		pred := sel.Select(kept[i])
+		if pred == best[i] {
+			hit++
+		}
+		pi := 0
+		for k, f := range sparse.KernelFormats() {
+			if f == pred {
+				pi = k
+			}
+		}
+		logCSR += math.Log(lab.Times[i][csrIdx] / lab.Times[i][pi])
+	}
+	n := float64(len(kept) - cut)
+	fmt.Printf("held-out accuracy:            %.1f%% (%d matrices)\n", 100*float64(hit)/n, len(kept)-cut)
+	fmt.Printf("speedup over always-CSR (GM): %.3fX\n", math.Exp(logCSR/n))
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	mtx := fs.String("mtx", "", "MatrixMarket file (required)")
+	archName := fs.String("arch", "Turing", "target architecture (Pascal, Volta, Turing)")
+	quick := fs.Bool("quick", false, "train on a reduced corpus")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *mtx == "" {
+		return fmt.Errorf("predict: -mtx is required")
+	}
+	arch, ok := gpusim.ArchByName(*archName)
+	if !ok {
+		return fmt.Errorf("predict: unknown architecture %q", *archName)
+	}
+	f, err := os.Open(*mtx)
+	if err != nil {
+		return err
+	}
+	m, err := sparse.ReadMatrixMarket(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", *mtx, err)
+	}
+
+	// Train a selector on the synthetic corpus labelled for the target
+	// architecture.
+	cfg := options(*quick).Dataset
+	items, err := dataset.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	var ms []*sparse.CSR
+	var best []sparse.Format
+	for _, it := range items {
+		meas := arch.Measure(it.Name, gpusim.NewProfile(it.Matrix))
+		if !meas.Feasible() {
+			continue
+		}
+		bf, _ := meas.BestFormat()
+		ms = append(ms, it.Matrix)
+		best = append(best, bf)
+	}
+	sel, err := core.TrainSelector(ms, best, core.Options{NumClusters: 200, Seed: 1})
+	if err != nil {
+		return err
+	}
+	e := sel.Explain(m)
+	rows, cols := m.Dims()
+	fmt.Printf("matrix: %s (%dx%d, %d nonzeros)\n", filepath.Base(*mtx), rows, cols, m.NNZ())
+	fmt.Printf("target: %s (%s)\n", arch.Name, arch.Model)
+	fmt.Printf("recommended format: %v\n", e.Format)
+	fmt.Printf("explanation: %s\n", e)
+	fmt.Printf("features: %s\n", e.Features)
+	return nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCmdExportWritesReadableMatrices(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdExport([]string{"-dir", dir, "-count", "7", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no matrices exported")
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".mtx") {
+			t.Errorf("unexpected file %s", e.Name())
+		}
+	}
+}
+
+func TestCmdExportRequiresDir(t *testing.T) {
+	if err := cmdExport(nil); err == nil {
+		t.Error("missing -dir accepted")
+	}
+}
+
+func TestCmdTableValidatesNumber(t *testing.T) {
+	if err := cmdTable([]string{"-n", "0"}, false); err == nil {
+		t.Error("table 0 accepted")
+	}
+	if err := cmdTable([]string{"-n", "10"}, false); err == nil {
+		t.Error("table 10 accepted")
+	}
+}
+
+func TestCmdTableStatic(t *testing.T) {
+	// Tables 1 and 2 are static catalogues: no corpus is built, so this
+	// stays fast.
+	if err := cmdTable([]string{"-n", "1"}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTable([]string{"-n", "2"}, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdPredict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("predict trains a corpus-backed selector")
+	}
+	dir := t.TempDir()
+	if err := cmdExport([]string{"-dir", dir, "-count", "3", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("export produced nothing: %v", err)
+	}
+	mtx := filepath.Join(dir, entries[0].Name())
+	if err := cmdPredict([]string{"-mtx", mtx, "-arch", "Volta", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPredict([]string{"-mtx", mtx, "-arch", "Ampere"}); err == nil {
+		t.Error("unknown architecture accepted")
+	}
+	if err := cmdPredict([]string{"-arch", "Volta"}); err == nil {
+		t.Error("missing -mtx accepted")
+	}
+}
+
+func TestCmdCPUBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cpubench measures real kernels")
+	}
+	dir := t.TempDir()
+	if err := cmdExport([]string{"-dir", dir, "-count", "24", "-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCPUBench([]string{"-dir", dir, "-trials", "1", "-clusters", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCPUBench(nil); err == nil {
+		t.Error("missing -dir accepted")
+	}
+	if err := cmdCPUBench([]string{"-dir", t.TempDir()}); err == nil {
+		t.Error("empty directory accepted")
+	}
+}

@@ -1,0 +1,157 @@
+// Explore: the explainability the paper claims over black-box models.
+//
+// The example trains the semi-supervised selector, then inspects it:
+// per-cluster purity (the paper's cluster-quality measure), the format
+// each cluster votes for, and a worked explanation for one matrix of
+// each generator family — showing which statistical features place it
+// in its cluster.
+//
+// Run with: go run ./examples/explore
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/features"
+	"repro/internal/gpusim"
+	"repro/internal/semisup"
+	"repro/internal/sparse"
+)
+
+func main() {
+	log.SetFlags(0)
+	arch := gpusim.Pascal
+	fmt.Printf("== Explore: inside a selector trained for %s\n\n", arch.Name)
+
+	items, err := dataset.Generate(dataset.Config{
+		Seed: 99, BaseCount: 245, AugmentPerBase: 0, Scale: 0.5,
+		DropELLFailures: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ms []*sparse.CSR
+	var labels []sparse.Format
+	var names []string
+	for _, it := range items {
+		m := arch.Measure(it.Name, gpusim.NewProfile(it.Matrix))
+		if !m.Feasible() {
+			continue
+		}
+		f, _ := m.BestFormat()
+		ms = append(ms, it.Matrix)
+		labels = append(labels, f)
+		names = append(names, it.Name)
+	}
+	sel, err := core.TrainSelector(ms, labels, core.Options{NumClusters: 24, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Per-cluster purity: the fraction of members agreeing with the
+	// cluster's dominant format. The paper's example shows why purity
+	// bounds attainable accuracy.
+	purity, count, err := sel.Purity(ms, labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type cl struct {
+		id     int
+		purity float64
+		count  int
+	}
+	var cls []cl
+	for c := range purity {
+		if count[c] > 0 {
+			cls = append(cls, cl{c, purity[c], count[c]})
+		}
+	}
+	sort.Slice(cls, func(i, j int) bool { return cls[i].count > cls[j].count })
+	fmt.Println("largest clusters (purity bounds the attainable accuracy):")
+	weighted := 0.0
+	total := 0
+	for _, c := range cls {
+		weighted += c.purity * float64(c.count)
+		total += c.count
+	}
+	for _, c := range cls[:min(8, len(cls))] {
+		// The paper's Section 4 arithmetic: expected accuracy when this
+		// cluster is labelled by benchmarking 1 or 3 of its members.
+		acc1, err := semisup.ExpectedVoteAccuracy(c.purity, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc3, err := semisup.ExpectedVoteAccuracy(c.purity, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  cluster %-3d size %-4d purity %.2f  expected acc: %.2f (1 benchmark) %.2f (3)\n",
+			c.id, c.count, c.purity, acc1, acc3)
+	}
+	fmt.Printf("weighted mean purity: %.3f over %d matrices\n\n", weighted/float64(total), total)
+
+	// Which Table 1 features drive selection? Train a random forest on
+	// the same data and rank its Gini importances.
+	fx := make([][]float64, len(ms))
+	fy := make([]int, len(ms))
+	for i, m := range ms {
+		fx[i] = features.Extract(m).Slice()
+		for k, kf := range sparse.KernelFormats() {
+			if kf == labels[i] {
+				fy[i] = k
+			}
+		}
+	}
+	forest := classify.NewForest(1)
+	if err := forest.Fit(fx, fy, sparse.NumKernelFormats); err != nil {
+		log.Fatal(err)
+	}
+	imp := forest.Importances()
+	type fi struct {
+		name string
+		imp  float64
+	}
+	var ranked []fi
+	for j, n := range features.Names {
+		ranked = append(ranked, fi{n, imp[j]})
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].imp > ranked[j].imp })
+	fmt.Println("most informative Table 1 features (random-forest Gini importance):")
+	for _, r := range ranked[:6] {
+		fmt.Printf("  %-14s %.3f\n", r.name, r.imp)
+	}
+	fmt.Println()
+
+	// One worked explanation per generator family.
+	fmt.Println("worked explanations (one matrix per family):")
+	seen := map[string]bool{}
+	for i, name := range names {
+		fam := strings.SplitN(name, "_", 2)[0]
+		if seen[fam] {
+			continue
+		}
+		seen[fam] = true
+		e := sel.Explain(ms[i])
+		rows, cols := ms[i].Dims()
+		fmt.Printf("\n  %s (%dx%d, nnz %d): %s\n", name, rows, cols, ms[i].NNZ(), e)
+		fmt.Printf("    truth on %s: %v\n", arch.Name, labels[i])
+		// The features that drive the clustering most visibly.
+		v := e.Features
+		fmt.Printf("    nnz_mu=%.1f nnz_max=%.0f nnz_sig=%.2f ell_frac=%.2f hyb_coo=%.0f scatter proxy dia_frac=%.3f\n",
+			v[features.NNZMu], v[features.NNZMax], v[features.NNZSig],
+			v[features.EllFrac], v[features.HybCoo], v[features.DiaFrac])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

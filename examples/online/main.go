@@ -1,0 +1,109 @@
+// Online: the paper's future-work extension, implemented.
+//
+// The conclusion of the paper sketches "an online classification system
+// that ... learn[s] from SpMV operations while they are being
+// performed". This example streams matrices through the incremental
+// selector (semisup.Online): most arrive unlabelled (we just run SpMV),
+// every tenth is opportunistically benchmarked, and prediction accuracy
+// is tracked as the stream progresses — including through a mid-stream
+// shift in the workload mix.
+//
+// Run with: go run ./examples/online
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/features"
+	"repro/internal/gpusim"
+	"repro/internal/semisup"
+	"repro/internal/sparse"
+)
+
+func main() {
+	log.SetFlags(0)
+	arch := gpusim.Turing
+	rng := rand.New(rand.NewSource(17))
+	fmt.Printf("== Online learning on a %s matrix stream\n\n", arch.Name)
+
+	// Two workload phases: PDE-style matrices first, then a shift toward
+	// scale-free graphs whose optimal formats differ.
+	phase1 := []dataset.Family{dataset.FamilyBanded, dataset.FamilyMesh, dataset.FamilyBlock}
+	phase2 := []dataset.Family{dataset.FamilyPowerLaw, dataset.FamilyRMAT, dataset.FamilyHeavyRow}
+
+	draw := func(fams []dataset.Family) (*sparse.CSR, int, bool) {
+		fam := fams[rng.Intn(len(fams))]
+		m := fam.Generate(rng, 0.4)
+		meas := arch.Measure(fmt.Sprintf("stream_%d", rng.Int63()), gpusim.NewProfile(m))
+		if !meas.Feasible() {
+			return nil, 0, false
+		}
+		return m, meas.Best, true
+	}
+
+	// Seed the frozen feature space with a small warm-up sample spanning
+	// both phases.
+	var seed [][]float64
+	for i := 0; i < 60; i++ {
+		fams := phase1
+		if i%2 == 0 {
+			fams = phase2
+		}
+		if m, _, ok := draw(fams); ok {
+			seed = append(seed, features.Extract(m).Slice())
+		}
+	}
+	online, err := semisup.NewOnline(seed, sparse.NumKernelFormats, semisup.OnlineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const perPhase = 600
+	window := struct{ hit, n int }{}
+	report := func(tag string) {
+		if window.n == 0 {
+			return
+		}
+		fmt.Printf("  %-22s accuracy %5.1f%%  clusters %-4d labelled %.0f%%\n",
+			tag, 100*float64(window.hit)/float64(window.n),
+			online.NumClusters(), 100*online.LabelledFraction())
+		window.hit, window.n = 0, 0
+	}
+
+	stream := func(fams []dataset.Family, phase string) {
+		for i := 0; i < perPhase; i++ {
+			m, best, ok := draw(fams)
+			if !ok {
+				continue
+			}
+			v := features.Extract(m).Slice()
+			// Predict before learning: an honest prequential evaluation.
+			if online.Predict(v) == best {
+				window.hit++
+			}
+			window.n++
+			if i%10 == 0 {
+				// Every tenth SpMV is opportunistically benchmarked.
+				if _, err := online.Record(v, best); err != nil {
+					log.Fatal(err)
+				}
+			} else {
+				online.Observe(v)
+			}
+			if (i+1)%200 == 0 {
+				report(fmt.Sprintf("%s, %4d seen:", phase, i+1))
+			}
+		}
+	}
+
+	fmt.Println("phase 1: PDE-style workload (banded / mesh / block)")
+	stream(phase1, "phase 1")
+	fmt.Println("phase 2: workload shifts to scale-free graphs")
+	stream(phase2, "phase 2")
+
+	fmt.Printf("\nstream complete: %d matrices seen, %d clusters grown online\n",
+		online.Seen(), online.NumClusters())
+}

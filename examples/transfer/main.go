@@ -1,0 +1,95 @@
+// Transfer: port a trained selector from one GPU to another.
+//
+// This example reproduces the paper's transfer-learning story end to
+// end: a selector trained on Pascal is evaluated on Volta as-is (0%
+// retraining), then ported by re-benchmarking growing fractions of the
+// training matrices on Volta and relabelling the clusters. The clusters
+// themselves never change — only the per-cluster format labels do,
+// which is why porting is cheap.
+//
+// Run with: go run ./examples/transfer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gpusim"
+	"repro/internal/sparse"
+)
+
+func main() {
+	log.SetFlags(0)
+	src, tgt := gpusim.Pascal, gpusim.Volta
+	fmt.Printf("== Transfer: %s -> %s\n\n", src.Name, tgt.Name)
+
+	items, err := dataset.Generate(dataset.Config{
+		Seed: 7, BaseCount: 280, AugmentPerBase: 0, Scale: 0.5,
+		DropELLFailures: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Matrices feasible on both GPUs, with both label sets — the paper's
+	// "common subset".
+	var ms []*sparse.CSR
+	var labSrc, labTgt []sparse.Format
+	for _, it := range items {
+		p := gpusim.NewProfile(it.Matrix)
+		mSrc := src.Measure(it.Name, p)
+		mTgt := tgt.Measure(it.Name, p)
+		if !mSrc.Feasible() || !mTgt.Feasible() {
+			continue
+		}
+		fs, _ := mSrc.BestFormat()
+		ft, _ := mTgt.BestFormat()
+		ms = append(ms, it.Matrix)
+		labSrc = append(labSrc, fs)
+		labTgt = append(labTgt, ft)
+	}
+	cut := len(ms) * 7 / 10
+	fmt.Printf("common subset: %d matrices (%d train, %d test)\n",
+		len(ms), cut, len(ms)-cut)
+
+	agree := 0
+	for i := range ms {
+		if labSrc[i] == labTgt[i] {
+			agree++
+		}
+	}
+	fmt.Printf("label agreement between %s and %s: %.1f%%\n\n",
+		src.Name, tgt.Name, 100*float64(agree)/float64(len(ms)))
+
+	sel, err := core.TrainSelector(ms[:cut], labSrc[:cut], core.Options{NumClusters: 60, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	score := func() float64 {
+		hit := 0
+		for i := cut; i < len(ms); i++ {
+			if sel.Select(ms[i]) == labTgt[i] {
+				hit++
+			}
+		}
+		return 100 * float64(hit) / float64(len(ms)-cut)
+	}
+
+	fmt.Printf("%-28s %6.1f%%\n", "accuracy on "+tgt.Name+" (0% retrain):", score())
+	for _, frac := range []float64{0.25, 0.50} {
+		take := int(frac * float64(cut))
+		if err := sel.Port(ms[:take], labTgt[:take]); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %6.1f%%   (re-benchmarked %d matrices)\n",
+			fmt.Sprintf("after %.0f%% retraining:", 100*frac), score(), take)
+	}
+
+	// The supervised contrast: retraining a forest from scratch needs the
+	// whole pipeline again; the semi-supervised port only re-voted
+	// cluster labels.
+	fmt.Printf("\nclusters never changed during porting: %d throughout\n", sel.NumClusters())
+}

@@ -1,0 +1,439 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+// gaussianTask builds a linearly separable 3-class problem.
+func gaussianTask(rng *rand.Rand, n int) (x [][]float64, y []int) {
+	centres := [][]float64{{0, 0, 0}, {4, 4, 0}, {0, 4, 4}}
+	for i := 0; i < n; i++ {
+		c := rng.Intn(3)
+		p := make([]float64, 3)
+		for j := range p {
+			p[j] = centres[c][j] + rng.NormFloat64()*0.6
+		}
+		x = append(x, p)
+		y = append(y, c)
+	}
+	return x, y
+}
+
+// xorTask builds a nonlinearly separable 2-class problem (XOR layout)
+// that linear models cannot solve but trees must.
+func xorTask(rng *rand.Rand, n int) (x [][]float64, y []int) {
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		cls := 0
+		if (a > 0) != (b > 0) {
+			cls = 1
+		}
+		x = append(x, []float64{a, b})
+		y = append(y, cls)
+	}
+	return x, y
+}
+
+func accuracy(pred, want []int) float64 {
+	hit := 0
+	for i := range pred {
+		if pred[i] == want[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(pred))
+}
+
+// fitAndScore trains on the first 70% and scores on the rest.
+func fitAndScore(t *testing.T, m Classifier, x [][]float64, y []int, classes int) float64 {
+	t.Helper()
+	cut := len(x) * 7 / 10
+	if err := m.Fit(x[:cut], y[:cut], classes); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	return accuracy(PredictAll(m, x[cut:]), y[cut:])
+}
+
+func TestAllModelsLearnGaussianTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := gaussianTask(rng, 600)
+	models := map[string]Classifier{
+		"knn":    NewKNN(5),
+		"tree":   NewTree(8),
+		"forest": NewForest(1),
+		"logreg": NewLogReg(),
+		"svm":    NewSVM(1),
+		"gboost": func() *GBoost { g := NewGBoost(); g.Rounds = 30; return g }(),
+	}
+	for name, m := range models {
+		if acc := fitAndScore(t, m, x, y, 3); acc < 0.9 {
+			t.Errorf("%s: accuracy %.3f on separable gaussians, want >= 0.9", name, acc)
+		}
+	}
+}
+
+func TestTreesSolveXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := xorTask(rng, 600)
+	for name, m := range map[string]Classifier{
+		"tree":   NewTree(8),
+		"forest": NewForest(2),
+		"gboost": func() *GBoost { g := NewGBoost(); g.Rounds = 30; return g }(),
+		"knn":    NewKNN(5),
+	} {
+		if acc := fitAndScore(t, m, x, y, 2); acc < 0.9 {
+			t.Errorf("%s: accuracy %.3f on XOR, want >= 0.9", name, acc)
+		}
+	}
+	// A linear model must fail XOR — this guards against the tree tests
+	// passing for trivial reasons.
+	lin := NewSVM(3)
+	if acc := fitAndScore(t, lin, x, y, 2); acc > 0.75 {
+		t.Errorf("linear SVM solved XOR (%.3f); the task generator is broken", acc)
+	}
+}
+
+func TestFitInputValidation(t *testing.T) {
+	good := [][]float64{{1, 2}, {3, 4}}
+	models := []Classifier{NewKNN(3), NewTree(3), NewForest(1), NewLogReg(), NewSVM(1), NewGBoost()}
+	for _, m := range models {
+		if err := m.Fit(nil, nil, 2); err == nil {
+			t.Errorf("%T: empty input accepted", m)
+		}
+	}
+	models = []Classifier{NewKNN(3), NewTree(3), NewForest(1), NewLogReg(), NewSVM(1), NewGBoost()}
+	for _, m := range models {
+		if err := m.Fit(good, []int{0}, 2); err == nil {
+			t.Errorf("%T: length mismatch accepted", m)
+		}
+	}
+	models = []Classifier{NewKNN(3), NewTree(3), NewForest(1), NewLogReg(), NewSVM(1), NewGBoost()}
+	for _, m := range models {
+		if err := m.Fit(good, []int{0, 5}, 2); err == nil {
+			t.Errorf("%T: out-of-range label accepted", m)
+		}
+	}
+	models = []Classifier{NewKNN(3), NewTree(3), NewForest(1), NewLogReg(), NewSVM(1), NewGBoost()}
+	for _, m := range models {
+		if err := m.Fit([][]float64{{1}, {1, 2}}, []int{0, 1}, 2); err == nil {
+			t.Errorf("%T: ragged input accepted", m)
+		}
+	}
+}
+
+func TestTreeDepthBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := gaussianTask(rng, 300)
+	tr := NewTree(3)
+	if err := tr.Fit(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	if d := tr.Depth(); d > 3 {
+		t.Errorf("tree depth %d exceeds bound 3", d)
+	}
+}
+
+func TestTreePureLeafShortCircuit(t *testing.T) {
+	// Single-class data must yield a single leaf.
+	x := [][]float64{{1}, {2}, {3}}
+	y := []int{1, 1, 1}
+	tr := NewTree(5)
+	if err := tr.Fit(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() != 0 {
+		t.Errorf("pure data grew depth %d", tr.Depth())
+	}
+	if tr.Predict([]float64{0}) != 1 {
+		t.Error("pure tree mispredicts")
+	}
+}
+
+func TestForestDeterministicGivenSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, y := gaussianTask(rng, 200)
+	a, b := NewForest(9), NewForest(9)
+	a.Trees, b.Trees = 10, 10
+	if err := a.Fit(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		p := []float64{rng.Float64() * 5, rng.Float64() * 5, rng.Float64() * 5}
+		if a.Predict(p) != b.Predict(p) {
+			t.Fatal("same-seed forests disagree")
+		}
+	}
+}
+
+func TestKNNExactNeighbours(t *testing.T) {
+	x := [][]float64{{0}, {1}, {10}, {11}, {12}}
+	y := []int{0, 0, 1, 1, 1}
+	m := NewKNN(3)
+	if err := m.Fit(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict([]float64{0.4}) != 0 {
+		t.Error("query near class 0 misclassified")
+	}
+	if m.Predict([]float64{10.6}) != 1 {
+		t.Error("query near class 1 misclassified")
+	}
+}
+
+func TestKNNWeighted(t *testing.T) {
+	// Two class-0 points far away, one class-1 point exactly at the
+	// query: inverse-distance weighting must prefer class 1 while
+	// uniform voting picks class 0.
+	x := [][]float64{{0}, {5.2}, {5.4}}
+	y := []int{1, 0, 0}
+	uni := NewKNN(3)
+	if err := uni.Fit(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	wgt := &KNN{K: 3, Weighted: true}
+	if err := wgt.Fit(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.01}
+	if uni.Predict(q) != 0 {
+		t.Error("uniform KNN should be fooled by the far majority")
+	}
+	if wgt.Predict(q) != 1 {
+		t.Error("weighted KNN should favour the near neighbour")
+	}
+}
+
+func TestLogRegProbabilitiesSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, y := gaussianTask(rng, 200)
+	m := NewLogReg()
+	if err := m.Fit(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	p := m.Proba(x[0])
+	sum := 0.0
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Fatalf("probability %v outside [0,1]", v)
+		}
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+}
+
+func TestUnbalancedDataMajorityPull(t *testing.T) {
+	// 95% of labels are class 0: every model should still beat the
+	// majority-class baseline on the minority when it is separable.
+	rng := rand.New(rand.NewSource(7))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 500; i++ {
+		if i%20 == 0 {
+			x = append(x, []float64{10 + rng.NormFloat64()*0.2})
+			y = append(y, 1)
+		} else {
+			x = append(x, []float64{rng.NormFloat64()})
+			y = append(y, 0)
+		}
+	}
+	for name, m := range map[string]Classifier{
+		"tree": NewTree(4), "knn": NewKNN(3),
+	} {
+		if err := m.Fit(x, y, 2); err != nil {
+			t.Fatal(err)
+		}
+		if m.Predict([]float64{10}) != 1 {
+			t.Errorf("%s: minority class unlearnable even when separable", name)
+		}
+	}
+}
+
+func TestDensityImageProperties(t *testing.T) {
+	// 96 divides evenly into 16 cells (6 entries each), so all diagonal
+	// cells carry the same count and normalise to exactly 1.
+	tr := sparse.NewTriplet(96, 96)
+	for i := 0; i < 96; i++ {
+		if err := tr.Add(i, i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img := DensityImage(tr.ToCSR())
+	if len(img) != ImageSize*ImageSize {
+		t.Fatalf("image length %d", len(img))
+	}
+	// A diagonal matrix fills exactly the diagonal cells with the same
+	// normalised intensity 1, everything else 0.
+	for i := 0; i < ImageSize; i++ {
+		for j := 0; j < ImageSize; j++ {
+			v := img[i*ImageSize+j]
+			if i == j && v != 1 {
+				t.Errorf("diagonal cell (%d,%d) = %v, want 1", i, j, v)
+			}
+			if i != j && v != 0 {
+				t.Errorf("off-diagonal cell (%d,%d) = %v, want 0", i, j, v)
+			}
+		}
+	}
+	if n := len(DensityImages([]*sparse.CSR{tr.ToCSR(), tr.ToCSR()})); n != 2 {
+		t.Error("DensityImages batch wrong")
+	}
+}
+
+func TestCNNLearnsImageTask(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CNN training in -short mode")
+	}
+	// Distinguish diagonal-band images from top-row-heavy images, a
+	// caricature of the ELL vs HYB distinction.
+	rng := rand.New(rand.NewSource(8))
+	var x [][]float64
+	var y []int
+	for n := 0; n < 240; n++ {
+		img := make([]float64, ImageSize*ImageSize)
+		if n%2 == 0 {
+			for i := 0; i < ImageSize; i++ {
+				img[i*ImageSize+i] = 0.8 + rng.Float64()*0.2
+			}
+			y = append(y, 0)
+		} else {
+			for j := 0; j < ImageSize; j++ {
+				img[j] = 0.8 + rng.Float64()*0.2
+			}
+			y = append(y, 1)
+		}
+		// Noise.
+		for k := 0; k < 20; k++ {
+			img[rng.Intn(len(img))] += rng.Float64() * 0.3
+		}
+		x = append(x, img)
+	}
+	m := NewCNN(1)
+	m.Epochs = 15
+	if acc := fitAndScore(t, m, x, y, 2); acc < 0.9 {
+		t.Errorf("CNN accuracy %.3f on trivial image task", acc)
+	}
+}
+
+func TestCNNRejectsWrongInputSize(t *testing.T) {
+	m := NewCNN(1)
+	if err := m.Fit([][]float64{{1, 2, 3}}, []int{0}, 2); err == nil {
+		t.Error("CNN accepted non-image input")
+	}
+}
+
+// TestQuickPredictionInRange property-tests that all models predict
+// in-range classes for arbitrary inputs after training on random data.
+func TestQuickPredictionInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, d, classes := 30+rng.Intn(40), 2+rng.Intn(4), 2+rng.Intn(3)
+		x := make([][]float64, n)
+		y := make([]int, n)
+		for i := range x {
+			x[i] = make([]float64, d)
+			for j := range x[i] {
+				x[i][j] = rng.NormFloat64()
+			}
+			y[i] = rng.Intn(classes)
+		}
+		models := []Classifier{
+			NewKNN(3), NewTree(4),
+			func() *Forest { f := NewForest(seed); f.Trees = 5; return f }(),
+			func() *GBoost { g := NewGBoost(); g.Rounds = 5; return g }(),
+			func() *SVM { s := NewSVM(seed); s.Epochs = 3; return s }(),
+			func() *LogReg { l := NewLogReg(); l.Epochs = 20; return l }(),
+		}
+		for _, m := range models {
+			if err := m.Fit(x, y, classes); err != nil {
+				return false
+			}
+			for trial := 0; trial < 5; trial++ {
+				q := make([]float64, d)
+				for j := range q {
+					q[j] = rng.NormFloat64() * 3
+				}
+				if p := m.Predict(q); p < 0 || p >= classes {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreeImportances(t *testing.T) {
+	// Feature 1 fully determines the label; feature 0 is noise. The
+	// importance mass must concentrate on feature 1.
+	rng := rand.New(rand.NewSource(9))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 300; i++ {
+		sig := rng.Float64()
+		cls := 0
+		if sig > 0.5 {
+			cls = 1
+		}
+		x = append(x, []float64{rng.Float64(), sig})
+		y = append(y, cls)
+	}
+	tr := NewTree(6)
+	if err := tr.Fit(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	imp := tr.Importances()
+	if len(imp) != 2 {
+		t.Fatalf("importances length %d", len(imp))
+	}
+	sum := imp[0] + imp[1]
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("importances sum to %v", sum)
+	}
+	if imp[1] < 0.9 {
+		t.Errorf("informative feature importance %v, want > 0.9", imp[1])
+	}
+
+	f := NewForest(1)
+	f.Trees = 10
+	if err := f.Fit(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	fimp := f.Importances()
+	if fimp[1] < 0.8 {
+		t.Errorf("forest informative importance %v", fimp[1])
+	}
+	p := f.Proba(x[0])
+	total := 0.0
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Errorf("vote share %v", v)
+		}
+		total += v
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("vote shares sum to %v", total)
+	}
+}
+
+func TestPureTreeImportancesZero(t *testing.T) {
+	tr := NewTree(4)
+	if err := tr.Fit([][]float64{{1}, {2}}, []int{0, 0}, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range tr.Importances() {
+		if v != 0 {
+			t.Errorf("pure tree has nonzero importance %v", v)
+		}
+	}
+}

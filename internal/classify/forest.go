@@ -1,0 +1,149 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Forest is a random forest: bootstrap-sampled CART trees with per-split
+// feature subsampling, majority-voted. The paper's configuration is 100
+// estimators with maximum depth 6.
+type Forest struct {
+	// Trees is the number of estimators (default 100, the paper's
+	// setting).
+	Trees int
+	// MaxDepth bounds each tree (default 6, the paper's setting).
+	MaxDepth int
+	// MaxFeatures per split; 0 selects sqrt(d), the standard heuristic.
+	MaxFeatures int
+	// Seed drives bootstrapping and feature subsampling.
+	Seed int64
+
+	trees   []*Tree
+	classes int
+	fitted  bool
+}
+
+// NewForest returns a forest with the paper's hyperparameters.
+func NewForest(seed int64) *Forest {
+	return &Forest{Trees: 100, MaxDepth: 6, Seed: seed}
+}
+
+// Fit trains the estimators in parallel.
+func (m *Forest) Fit(x [][]float64, y []int, classes int) error {
+	if err := checkTrainingInput(x, y, classes); err != nil {
+		return err
+	}
+	if m.Trees <= 0 {
+		m.Trees = 100
+	}
+	if m.MaxDepth <= 0 {
+		m.MaxDepth = 6
+	}
+	mf := m.MaxFeatures
+	if mf <= 0 {
+		mf = int(math.Sqrt(float64(len(x[0]))))
+		if mf < 1 {
+			mf = 1
+		}
+	}
+	m.classes = classes
+	m.trees = make([]*Tree, m.Trees)
+
+	// Pre-draw bootstrap samples sequentially for determinism, then
+	// train trees in parallel.
+	rng := rand.New(rand.NewSource(m.Seed))
+	boots := make([][][]float64, m.Trees)
+	bootY := make([][]int, m.Trees)
+	seeds := make([]int64, m.Trees)
+	for t := 0; t < m.Trees; t++ {
+		bx := make([][]float64, len(x))
+		by := make([]int, len(x))
+		for i := range bx {
+			j := rng.Intn(len(x))
+			bx[i] = x[j]
+			by[i] = y[j]
+		}
+		boots[t], bootY[t] = bx, by
+		seeds[t] = rng.Int63()
+	}
+
+	var firstErr error
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for t := 0; t < m.Trees; t++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(t int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			tree := NewTree(m.MaxDepth)
+			tree.MaxFeatures = mf
+			tree.Seed = seeds[t]
+			if err := tree.Fit(boots[t], bootY[t], classes); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			m.trees[t] = tree
+		}(t)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	m.fitted = true
+	return nil
+}
+
+// Predict majority-votes the estimators.
+func (m *Forest) Predict(x []float64) int {
+	if !m.fitted {
+		return 0
+	}
+	votes := make([]int, m.classes)
+	for _, t := range m.trees {
+		votes[t.Predict(x)]++
+	}
+	return argmax1(votes)
+}
+
+// Proba returns the per-class vote shares, the forest's probability
+// estimate.
+func (m *Forest) Proba(x []float64) []float64 {
+	p := make([]float64, m.classes)
+	if !m.fitted {
+		return p
+	}
+	for _, t := range m.trees {
+		p[t.Predict(x)]++
+	}
+	for i := range p {
+		p[i] /= float64(len(m.trees))
+	}
+	return p
+}
+
+// Importances returns the mean normalised Gini importances of the
+// estimators — which Table 1 features actually drive format selection.
+func (m *Forest) Importances() []float64 {
+	if !m.fitted || len(m.trees) == 0 {
+		return nil
+	}
+	imp := make([]float64, len(m.trees[0].Importances()))
+	for _, t := range m.trees {
+		for j, v := range t.Importances() {
+			imp[j] += v
+		}
+	}
+	normalize(imp)
+	return imp
+}
+
+var _ Classifier = (*Forest)(nil)

@@ -1,0 +1,99 @@
+package classify
+
+import (
+	"container/heap"
+
+	"repro/internal/linalg"
+)
+
+// KNN is the k-nearest-neighbours classifier. The paper points out that
+// KNN over the same preprocessed feature space is the natural supervised
+// counterpart of centroid-based clustering, and evaluates it in Table 6.
+type KNN struct {
+	// K is the neighbourhood size (default 5, scikit-learn's default).
+	K int
+	// Weighted votes neighbours by inverse distance instead of uniformly.
+	Weighted bool
+
+	x       [][]float64
+	y       []int
+	classes int
+	fitted  bool
+}
+
+// NewKNN returns a KNN classifier with k neighbours.
+func NewKNN(k int) *KNN { return &KNN{K: k} }
+
+// Fit memorises the training set.
+func (m *KNN) Fit(x [][]float64, y []int, classes int) error {
+	if err := checkTrainingInput(x, y, classes); err != nil {
+		return err
+	}
+	if m.K <= 0 {
+		m.K = 5
+	}
+	m.x, m.y, m.classes = x, y, classes
+	m.fitted = true
+	return nil
+}
+
+// neighbourHeap is a max-heap of (distance, index) keeping the k nearest.
+type neighbourHeap []struct {
+	d   float64
+	idx int
+}
+
+func (h neighbourHeap) Len() int           { return len(h) }
+func (h neighbourHeap) Less(i, j int) bool { return h[i].d > h[j].d } // max-heap
+func (h neighbourHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *neighbourHeap) Push(x interface{}) {
+	*h = append(*h, x.(struct {
+		d   float64
+		idx int
+	}))
+}
+func (h *neighbourHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// Predict votes among the k nearest training points.
+func (m *KNN) Predict(x []float64) int {
+	if !m.fitted {
+		return 0
+	}
+	k := m.K
+	if k > len(m.x) {
+		k = len(m.x)
+	}
+	h := make(neighbourHeap, 0, k+1)
+	for i, p := range m.x {
+		d := linalg.SqDist(p, x)
+		if len(h) < k {
+			heap.Push(&h, struct {
+				d   float64
+				idx int
+			}{d, i})
+		} else if d < h[0].d {
+			h[0] = struct {
+				d   float64
+				idx int
+			}{d, i}
+			heap.Fix(&h, 0)
+		}
+	}
+	votes := make([]float64, m.classes)
+	for _, nb := range h {
+		w := 1.0
+		if m.Weighted {
+			w = 1 / (nb.d + 1e-12)
+		}
+		votes[m.y[nb.idx]] += w
+	}
+	return argmax(votes)
+}
+
+var _ Classifier = (*KNN)(nil)

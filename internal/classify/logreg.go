@@ -1,0 +1,132 @@
+package classify
+
+import (
+	"math"
+)
+
+// LogReg is multinomial (softmax) logistic regression trained by
+// full-batch gradient descent with momentum and L2 regularisation. It is
+// both a supervised baseline and the "LR" cluster-labelling rule of the
+// semi-supervised pipeline.
+type LogReg struct {
+	// Epochs is the number of full-batch descent steps (default 300).
+	Epochs int
+	// LR is the learning rate (default 0.5; features are scaled to
+	// [0, 1] upstream, so a large rate is stable).
+	LR float64
+	// L2 is the ridge penalty (default 1e-4).
+	L2 float64
+
+	w       [][]float64 // classes x (features+1); last column is bias
+	classes int
+	fitted  bool
+}
+
+// NewLogReg returns a model with the defaults above.
+func NewLogReg() *LogReg { return &LogReg{} }
+
+// Fit minimises the softmax cross-entropy.
+func (m *LogReg) Fit(x [][]float64, y []int, classes int) error {
+	if err := checkTrainingInput(x, y, classes); err != nil {
+		return err
+	}
+	if m.Epochs <= 0 {
+		m.Epochs = 300
+	}
+	if m.LR <= 0 {
+		m.LR = 0.5
+	}
+	if m.L2 < 0 {
+		m.L2 = 1e-4
+	}
+	d := len(x[0])
+	m.classes = classes
+	m.w = make([][]float64, classes)
+	vel := make([][]float64, classes)
+	grad := make([][]float64, classes)
+	for c := range m.w {
+		m.w[c] = make([]float64, d+1)
+		vel[c] = make([]float64, d+1)
+		grad[c] = make([]float64, d+1)
+	}
+
+	const momentum = 0.9
+	n := float64(len(x))
+	probs := make([]float64, classes)
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		for c := range grad {
+			for j := range grad[c] {
+				grad[c][j] = 0
+			}
+		}
+		for i, row := range x {
+			m.softmax(row, probs)
+			for c := 0; c < classes; c++ {
+				g := probs[c]
+				if c == y[i] {
+					g -= 1
+				}
+				gc := grad[c]
+				for j, v := range row {
+					gc[j] += g * v
+				}
+				gc[d] += g
+			}
+		}
+		for c := 0; c < classes; c++ {
+			for j := 0; j <= d; j++ {
+				g := grad[c][j]/n + m.L2*m.w[c][j]
+				vel[c][j] = momentum*vel[c][j] - m.LR*g
+				m.w[c][j] += vel[c][j]
+			}
+		}
+	}
+	m.fitted = true
+	return nil
+}
+
+// softmax fills out with class probabilities for row.
+func (m *LogReg) softmax(row []float64, out []float64) {
+	maxZ := math.Inf(-1)
+	d := len(row)
+	for c := 0; c < m.classes; c++ {
+		z := m.w[c][d]
+		for j, v := range row {
+			z += m.w[c][j] * v
+		}
+		out[c] = z
+		if z > maxZ {
+			maxZ = z
+		}
+	}
+	sum := 0.0
+	for c := range out[:m.classes] {
+		out[c] = math.Exp(out[c] - maxZ)
+		sum += out[c]
+	}
+	for c := range out[:m.classes] {
+		out[c] /= sum
+	}
+}
+
+// Predict returns the argmax class.
+func (m *LogReg) Predict(x []float64) int {
+	if !m.fitted {
+		return 0
+	}
+	probs := make([]float64, m.classes)
+	m.softmax(x, probs)
+	return argmax(probs)
+}
+
+// Proba returns the class-probability vector for x, used by the
+// explainability tooling.
+func (m *LogReg) Proba(x []float64) []float64 {
+	probs := make([]float64, m.classes)
+	if m.fitted {
+		m.softmax(x, probs)
+	}
+	return probs
+}
+
+var _ Classifier = (*LogReg)(nil)

@@ -1,0 +1,99 @@
+package classify
+
+import (
+	"math/rand"
+)
+
+// SVM is a linear support-vector machine trained with the Pegasos
+// stochastic sub-gradient algorithm (Shalev-Shwartz et al., 2007),
+// extended to multiclass by one-vs-rest, the standard reduction used by
+// LinearSVC-style baselines.
+type SVM struct {
+	// Lambda is the regularisation strength (default 1e-4).
+	Lambda float64
+	// Epochs is the number of passes over the data (default 20).
+	Epochs int
+	// Seed drives the stochastic sampling.
+	Seed int64
+
+	w       [][]float64 // one weight vector (plus bias) per class
+	classes int
+	fitted  bool
+}
+
+// NewSVM returns an SVM with the defaults above.
+func NewSVM(seed int64) *SVM { return &SVM{Seed: seed} }
+
+// Fit trains one Pegasos binary separator per class.
+func (m *SVM) Fit(x [][]float64, y []int, classes int) error {
+	if err := checkTrainingInput(x, y, classes); err != nil {
+		return err
+	}
+	if m.Lambda <= 0 {
+		m.Lambda = 1e-4
+	}
+	if m.Epochs <= 0 {
+		m.Epochs = 20
+	}
+	d := len(x[0])
+	m.classes = classes
+	m.w = make([][]float64, classes)
+	for c := 0; c < classes; c++ {
+		m.w[c] = m.pegasos(x, y, c, d)
+	}
+	m.fitted = true
+	return nil
+}
+
+// pegasos trains class c against the rest and returns w (bias last).
+func (m *SVM) pegasos(x [][]float64, y []int, c, d int) []float64 {
+	rng := rand.New(rand.NewSource(m.Seed + int64(c)*7919))
+	w := make([]float64, d+1)
+	t := 0
+	steps := m.Epochs * len(x)
+	for t < steps {
+		t++
+		i := rng.Intn(len(x))
+		label := -1.0
+		if y[i] == c {
+			label = 1.0
+		}
+		eta := 1 / (m.Lambda * float64(t))
+		// Margin.
+		z := w[d]
+		for j, v := range x[i] {
+			z += w[j] * v
+		}
+		// Shrink (sub-gradient of the L2 term; bias unregularised).
+		scale := 1 - eta*m.Lambda
+		for j := 0; j < d; j++ {
+			w[j] *= scale
+		}
+		if label*z < 1 {
+			for j, v := range x[i] {
+				w[j] += eta * label * v
+			}
+			w[d] += eta * label
+		}
+	}
+	return w
+}
+
+// Predict returns the class with the largest one-vs-rest margin.
+func (m *SVM) Predict(x []float64) int {
+	if !m.fitted {
+		return 0
+	}
+	scores := make([]float64, m.classes)
+	d := len(x)
+	for c, w := range m.w {
+		z := w[d]
+		for j, v := range x {
+			z += w[j] * v
+		}
+		scores[c] = z
+	}
+	return argmax(scores)
+}
+
+var _ Classifier = (*SVM)(nil)

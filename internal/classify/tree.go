@@ -1,0 +1,233 @@
+package classify
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Tree is a CART decision-tree classifier: binary splits chosen by Gini
+// impurity reduction, grown depth-first to MaxDepth.
+type Tree struct {
+	// MaxDepth bounds tree depth (default 10).
+	MaxDepth int
+	// MinSamplesSplit is the smallest node that may split (default 2).
+	MinSamplesSplit int
+	// MaxFeatures, when positive, samples that many candidate features
+	// per split — the randomisation used by the forest. 0 considers all.
+	MaxFeatures int
+	// Seed drives feature subsampling when MaxFeatures > 0.
+	Seed int64
+
+	root       *treeNode
+	classes    int
+	fitted     bool
+	importance []float64
+	nTrain     int
+}
+
+type treeNode struct {
+	feature     int
+	threshold   float64
+	left, right *treeNode
+	class       int // leaf prediction
+	leaf        bool
+	counts      []int // class histogram at the node, for explainability
+}
+
+// NewTree returns a CART classifier with the given depth bound.
+func NewTree(maxDepth int) *Tree {
+	return &Tree{MaxDepth: maxDepth, MinSamplesSplit: 2}
+}
+
+// Fit grows the tree.
+func (m *Tree) Fit(x [][]float64, y []int, classes int) error {
+	if err := checkTrainingInput(x, y, classes); err != nil {
+		return err
+	}
+	if m.MaxDepth <= 0 {
+		m.MaxDepth = 10
+	}
+	if m.MinSamplesSplit < 2 {
+		m.MinSamplesSplit = 2
+	}
+	m.classes = classes
+	m.importance = make([]float64, len(x[0]))
+	m.nTrain = len(x)
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	m.root = m.grow(x, y, idx, 0, rng)
+	normalize(m.importance)
+	m.fitted = true
+	return nil
+}
+
+// normalize scales a non-negative vector to sum to 1 (no-op when all
+// zero).
+func normalize(v []float64) {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	if s == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= s
+	}
+}
+
+// grow builds the subtree over the sample indices idx.
+func (m *Tree) grow(x [][]float64, y []int, idx []int, depth int, rng *rand.Rand) *treeNode {
+	counts := make([]int, m.classes)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	node := &treeNode{counts: counts, class: argmax1(counts), leaf: true}
+	if depth >= m.MaxDepth || len(idx) < m.MinSamplesSplit || pure(counts) {
+		return node
+	}
+	feat, thr, gain, ok := m.bestSplit(x, y, idx, counts, rng)
+	if !ok {
+		return node
+	}
+	// Gini importance: impurity decrease weighted by the node's share of
+	// the training set.
+	m.importance[feat] += gain * float64(len(idx)) / float64(m.nTrain)
+	var left, right []int
+	for _, i := range idx {
+		if x[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return node
+	}
+	node.leaf = false
+	node.feature = feat
+	node.threshold = thr
+	node.left = m.grow(x, y, left, depth+1, rng)
+	node.right = m.grow(x, y, right, depth+1, rng)
+	return node
+}
+
+func pure(counts []int) bool {
+	nz := 0
+	for _, c := range counts {
+		if c > 0 {
+			nz++
+		}
+	}
+	return nz <= 1
+}
+
+// bestSplit scans candidate features for the threshold with the lowest
+// weighted Gini impurity, using the sorted-scan incremental update.
+func (m *Tree) bestSplit(x [][]float64, y []int, idx []int, parentCounts []int, rng *rand.Rand) (feat int, thr, gain float64, ok bool) {
+	d := len(x[0])
+	features := make([]int, d)
+	for i := range features {
+		features[i] = i
+	}
+	if m.MaxFeatures > 0 && m.MaxFeatures < d {
+		rng.Shuffle(d, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:m.MaxFeatures]
+	}
+
+	n := float64(len(idx))
+	bestGain := 1e-12
+	parentGini := giniFromCounts(parentCounts, len(idx))
+
+	type fv struct {
+		v float64
+		y int
+	}
+	vals := make([]fv, len(idx))
+	leftCounts := make([]int, m.classes)
+	rightCounts := make([]int, m.classes)
+
+	for _, f := range features {
+		for k, i := range idx {
+			vals[k] = fv{x[i][f], y[i]}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		if vals[0].v == vals[len(vals)-1].v {
+			continue
+		}
+		copy(rightCounts, parentCounts)
+		for c := range leftCounts {
+			leftCounts[c] = 0
+		}
+		for k := 0; k < len(vals)-1; k++ {
+			leftCounts[vals[k].y]++
+			rightCounts[vals[k].y]--
+			if vals[k].v == vals[k+1].v {
+				continue
+			}
+			nl, nr := k+1, len(vals)-k-1
+			g := (float64(nl)*giniFromCounts(leftCounts, nl) +
+				float64(nr)*giniFromCounts(rightCounts, nr)) / n
+			if gn := parentGini - g; gn > bestGain {
+				bestGain = gn
+				feat = f
+				thr = (vals[k].v + vals[k+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, bestGain, ok
+}
+
+// giniFromCounts returns 1 - sum p_i^2 over a class histogram of total n.
+func giniFromCounts(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		s += p * p
+	}
+	return 1 - s
+}
+
+// Predict walks the tree.
+func (m *Tree) Predict(x []float64) int {
+	if !m.fitted {
+		return 0
+	}
+	n := m.root
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.class
+}
+
+// Importances returns the normalised Gini feature importances (summing
+// to 1 unless the tree is a single leaf). Callers must not modify the
+// slice.
+func (m *Tree) Importances() []float64 { return m.importance }
+
+// Depth returns the height of the fitted tree (leaf-only tree is 0).
+func (m *Tree) Depth() int { return depthOf(m.root) }
+
+func depthOf(n *treeNode) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+var _ Classifier = (*Tree)(nil)

@@ -1,0 +1,337 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Birch builds a CF-tree (Zhang, Ramakrishnan & Livny, SIGMOD 1996) in
+// one pass over the data and then runs a global K-Means over the leaf
+// entries' centroids (weighted by their counts) to produce the requested
+// number of clusters, matching scikit-learn's Birch(n_clusters=k).
+type Birch struct {
+	// K is the number of global clusters extracted from the CF-tree.
+	K int
+	// Threshold is the maximum radius of a leaf entry before it splits
+	// (default 0.1; the feature spaces here are min-max-scaled or PCA
+	// projections of them, so entries must stay well under the typical
+	// inter-cluster distances of a unit-scaled space).
+	Threshold float64
+	// Branching is the maximum entries per tree node (default 50,
+	// scikit-learn's default).
+	Branching int
+	// Seed drives the global K-Means.
+	Seed int64
+
+	centroids [][]float64
+	labels    []int
+	leaves    int
+	fitted    bool
+}
+
+// NewBirch returns a Birch model with scikit-learn-style defaults.
+func NewBirch(k int, seed int64) *Birch {
+	return &Birch{K: k, Threshold: 0.1, Branching: 50, Seed: seed}
+}
+
+// cfEntry is a clustering feature: count, linear sum and squared norm
+// sum, enough to compute centroids and radii incrementally.
+type cfEntry struct {
+	n     int
+	ls    []float64
+	ss    float64
+	child *cfNode // nil at leaves
+}
+
+type cfNode struct {
+	entries []*cfEntry
+	leaf    bool
+}
+
+func newEntry(x []float64) *cfEntry {
+	ls := append([]float64(nil), x...)
+	return &cfEntry{n: 1, ls: ls, ss: linalg.Dot(x, x)}
+}
+
+func (e *cfEntry) centroid() []float64 {
+	c := make([]float64, len(e.ls))
+	for i, v := range e.ls {
+		c[i] = v / float64(e.n)
+	}
+	return c
+}
+
+// radiusAfterAdding returns the RMS radius of the entry once x joins it.
+func (e *cfEntry) radiusAfterAdding(x []float64) float64 {
+	n := float64(e.n + 1)
+	ss := e.ss + linalg.Dot(x, x)
+	var cc float64
+	for i, v := range e.ls {
+		c := (v + x[i]) / n
+		cc += c * c
+	}
+	r2 := ss/n - cc
+	if r2 < 0 {
+		r2 = 0
+	}
+	return math.Sqrt(r2)
+}
+
+func (e *cfEntry) add(x []float64) {
+	e.n++
+	linalg.Axpy(1, x, e.ls)
+	e.ss += linalg.Dot(x, x)
+}
+
+func (e *cfEntry) merge(o *cfEntry) {
+	e.n += o.n
+	linalg.Axpy(1, o.ls, e.ls)
+	e.ss += o.ss
+}
+
+func (e *cfEntry) sqDistTo(x []float64) float64 {
+	d := 0.0
+	inv := 1 / float64(e.n)
+	for i, v := range e.ls {
+		diff := v*inv - x[i]
+		d += diff * diff
+	}
+	return d
+}
+
+// Fit builds the CF-tree and extracts K global clusters.
+func (b *Birch) Fit(points [][]float64) error {
+	if b.fitted {
+		return fmt.Errorf("cluster: Birch already fitted")
+	}
+	if err := checkInput(points); err != nil {
+		return err
+	}
+	if b.K <= 0 {
+		return fmt.Errorf("cluster: Birch with K = %d", b.K)
+	}
+	if b.Threshold <= 0 {
+		b.Threshold = 0.1
+	}
+	if b.Branching < 2 {
+		b.Branching = 50
+	}
+
+	root := &cfNode{leaf: true}
+	for _, p := range points {
+		root = b.insert(root, p)
+	}
+
+	// Collect leaf entries.
+	var leafEntries []*cfEntry
+	var collect func(n *cfNode)
+	collect = func(n *cfNode) {
+		if n.leaf {
+			leafEntries = append(leafEntries, n.entries...)
+			return
+		}
+		for _, e := range n.entries {
+			collect(e.child)
+		}
+	}
+	collect(root)
+	b.leaves = len(leafEntries)
+
+	// Global clustering: weighted K-Means over leaf centroids. Weights
+	// are applied by centroid replication in proportion, which keeps the
+	// implementation simple and is adequate at CF-tree granularity.
+	cents := make([][]float64, len(leafEntries))
+	weights := make([]float64, len(leafEntries))
+	for i, e := range leafEntries {
+		cents[i] = e.centroid()
+		weights[i] = float64(e.n)
+	}
+	k := b.K
+	if k > len(cents) {
+		k = len(cents)
+	}
+	global, err := weightedKMeans(cents, weights, k, b.Seed)
+	if err != nil {
+		return fmt.Errorf("cluster: Birch global clustering: %w", err)
+	}
+	b.centroids = global
+	b.labels = make([]int, len(points))
+	assignParallel(points, b.centroids, b.labels)
+	b.fitted = true
+	return nil
+}
+
+// insert adds x to the subtree rooted at n, splitting nodes that exceed
+// the branching factor; it returns the (possibly new) root.
+func (b *Birch) insert(root *cfNode, x []float64) *cfNode {
+	split := b.insertRec(root, x)
+	if split == nil {
+		return root
+	}
+	// Root split: grow a new root one level up.
+	newRoot := &cfNode{leaf: false}
+	for _, half := range []*cfNode{root, split} {
+		sum := summarize(half)
+		sum.child = half
+		newRoot.entries = append(newRoot.entries, sum)
+	}
+	return newRoot
+}
+
+// insertRec descends to the closest leaf; a non-nil return is the new
+// sibling produced by splitting the child.
+func (b *Birch) insertRec(n *cfNode, x []float64) *cfNode {
+	if n.leaf {
+		// Closest entry that can absorb x within the threshold.
+		best, bestD := -1, math.Inf(1)
+		for i, e := range n.entries {
+			if d := e.sqDistTo(x); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if best >= 0 && n.entries[best].radiusAfterAdding(x) <= b.Threshold {
+			n.entries[best].add(x)
+			return nil
+		}
+		n.entries = append(n.entries, newEntry(x))
+		if len(n.entries) <= b.Branching {
+			return nil
+		}
+		return splitNode(n)
+	}
+	// Internal node: descend into the closest child.
+	best, bestD := -1, math.Inf(1)
+	for i, e := range n.entries {
+		if d := e.sqDistTo(x); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	child := n.entries[best]
+	split := b.insertRec(child.child, x)
+	// Refresh the summary of the descended child.
+	*child = *summarizeKeep(child.child)
+	if split != nil {
+		sum := summarize(split)
+		sum.child = split
+		n.entries = append(n.entries, sum)
+		if len(n.entries) > b.Branching {
+			return splitNode(n)
+		}
+	}
+	return nil
+}
+
+// summarize builds a CF entry describing all of n's contents.
+func summarize(n *cfNode) *cfEntry {
+	var total *cfEntry
+	for _, e := range n.entries {
+		if total == nil {
+			total = &cfEntry{n: e.n, ls: append([]float64(nil), e.ls...), ss: e.ss}
+		} else {
+			total.merge(e)
+		}
+	}
+	if total == nil {
+		total = &cfEntry{ls: []float64{}}
+	}
+	return total
+}
+
+// summarizeKeep is summarize but preserves the child pointer.
+func summarizeKeep(n *cfNode) *cfEntry {
+	s := summarize(n)
+	s.child = n
+	return s
+}
+
+// splitNode divides n's entries between n and a new sibling using the
+// two farthest entries as seeds, returning the sibling.
+func splitNode(n *cfNode) *cfNode {
+	entries := n.entries
+	// Farthest pair by centroid distance.
+	var si, sj int
+	worst := -1.0
+	for i := range entries {
+		ci := entries[i].centroid()
+		for j := i + 1; j < len(entries); j++ {
+			if d := entries[j].sqDistTo(ci); d > worst {
+				worst, si, sj = d, i, j
+			}
+		}
+	}
+	a := &cfNode{leaf: n.leaf}
+	bn := &cfNode{leaf: n.leaf}
+	ca, cb := entries[si].centroid(), entries[sj].centroid()
+	for idx, e := range entries {
+		switch {
+		case idx == si:
+			a.entries = append(a.entries, e)
+		case idx == sj:
+			bn.entries = append(bn.entries, e)
+		case e.sqDistTo(ca) <= e.sqDistTo(cb):
+			a.entries = append(a.entries, e)
+		default:
+			bn.entries = append(bn.entries, e)
+		}
+	}
+	*n = *a
+	return bn
+}
+
+// weightedKMeans clusters weighted points with k-means++ seeding.
+func weightedKMeans(points [][]float64, w []float64, k int, seed int64) ([][]float64, error) {
+	km := NewKMeans(k, seed)
+	if err := km.Fit(points); err != nil {
+		return nil, err
+	}
+	// One weighted refinement pass: recompute centroids with weights.
+	d := len(points[0])
+	for iter := 0; iter < 20; iter++ {
+		sums := make([][]float64, km.NumClusters())
+		counts := make([]float64, km.NumClusters())
+		for c := range sums {
+			sums[c] = make([]float64, d)
+		}
+		for i, p := range points {
+			c := km.Assign(p)
+			linalg.Axpy(w[i], p, sums[c])
+			counts[c] += w[i]
+		}
+		moved := 0.0
+		for c := range sums {
+			if counts[c] == 0 {
+				continue
+			}
+			linalg.Scale(1/counts[c], sums[c])
+			moved += linalg.SqDist(sums[c], km.centroids[c])
+			km.centroids[c] = sums[c]
+		}
+		if moved < 1e-10 {
+			break
+		}
+	}
+	return km.centroids, nil
+}
+
+// NumClusters returns the number of global clusters.
+func (b *Birch) NumClusters() int { return len(b.centroids) }
+
+// NumLeafEntries returns the CF-tree leaf entry count before global
+// clustering, exposed for the explainability tooling.
+func (b *Birch) NumLeafEntries() int { return b.leaves }
+
+// Labels returns the training assignments.
+func (b *Birch) Labels() []int { return b.labels }
+
+// Centroid returns global centroid c.
+func (b *Birch) Centroid(c int) []float64 { return b.centroids[c] }
+
+// Assign returns the nearest global centroid's index.
+func (b *Birch) Assign(x []float64) int {
+	c, _ := nearestCentroid(b.centroids, x)
+	return c
+}
+
+var _ Clusterer = (*Birch)(nil)

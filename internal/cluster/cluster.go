@@ -1,0 +1,67 @@
+// Package cluster implements the three clustering algorithms the paper
+// evaluates for semi-supervised format selection: K-Means (with
+// k-means++ seeding), Mean-Shift with a flat kernel, and Birch (a CF-tree
+// followed by a global clustering of leaf entries).
+//
+// All algorithms work on Euclidean feature vectors — the paper's
+// preprocessed (log/sqrt + min-max + PCA) feature space — and expose
+// their cluster centroids, so that a new matrix is classified by the
+// label of the nearest centroid.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// Clusterer is a fitted clustering model.
+type Clusterer interface {
+	// Fit clusters the points. It must be called exactly once.
+	Fit(points [][]float64) error
+	// NumClusters returns the number of clusters found.
+	NumClusters() int
+	// Labels returns the training points' cluster indices, aligned with
+	// the Fit input. Callers must not modify the slice.
+	Labels() []int
+	// Centroid returns cluster c's centre. Callers must not modify it.
+	Centroid(c int) []float64
+	// Assign returns the cluster whose centroid is nearest to x.
+	Assign(x []float64) int
+}
+
+// ErrNotFitted is returned by operations requiring a fitted model.
+var ErrNotFitted = errors.New("cluster: model not fitted")
+
+// ErrEmptyInput reports a Fit call without points.
+var ErrEmptyInput = errors.New("cluster: empty input")
+
+// nearestCentroid returns the index of the closest centroid and the
+// squared distance to it.
+func nearestCentroid(centroids [][]float64, x []float64) (int, float64) {
+	best, bestD := -1, 0.0
+	for c, cen := range centroids {
+		d := linalg.SqDist(cen, x)
+		if best < 0 || d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}
+
+func checkInput(points [][]float64) error {
+	if len(points) == 0 {
+		return ErrEmptyInput
+	}
+	d := len(points[0])
+	if d == 0 {
+		return fmt.Errorf("cluster: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != d {
+			return fmt.Errorf("cluster: point %d has dimension %d, want %d", i, len(p), d)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,316 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+// blobs generates n points around k well-separated centres and returns
+// points plus their true centre index.
+func blobs(rng *rand.Rand, n, k, dim int, spread float64) (points [][]float64, truth []int, centres [][]float64) {
+	centres = make([][]float64, k)
+	for c := range centres {
+		centres[c] = make([]float64, dim)
+		for j := range centres[c] {
+			centres[c][j] = float64(c*10) + rng.Float64()
+		}
+	}
+	points = make([][]float64, n)
+	truth = make([]int, n)
+	for i := range points {
+		c := rng.Intn(k)
+		truth[i] = c
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = centres[c][j] + rng.NormFloat64()*spread
+		}
+		points[i] = p
+	}
+	return points, truth, centres
+}
+
+// agreement returns the fraction of point pairs on which two labelings
+// agree about co-membership (Rand index), a permutation-invariant way to
+// compare clusterings.
+func agreement(a, b []int) float64 {
+	same, total := 0, 0
+	for i := 0; i < len(a); i++ {
+		for j := i + 1; j < len(a); j++ {
+			total++
+			if (a[i] == a[j]) == (b[i] == b[j]) {
+				same++
+			}
+		}
+	}
+	return float64(same) / float64(total)
+}
+
+func TestKMeansRecoverBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	points, truth, _ := blobs(rng, 300, 3, 4, 0.3)
+	km := NewKMeans(3, 7)
+	if err := km.Fit(points); err != nil {
+		t.Fatal(err)
+	}
+	if km.NumClusters() != 3 {
+		t.Fatalf("NumClusters = %d", km.NumClusters())
+	}
+	if r := agreement(km.Labels(), truth); r < 0.99 {
+		t.Errorf("Rand index %v on separated blobs", r)
+	}
+	if km.Inertia() <= 0 {
+		t.Errorf("Inertia = %v", km.Inertia())
+	}
+}
+
+func TestKMeansAssignConsistentWithLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	points, _, _ := blobs(rng, 200, 4, 3, 0.5)
+	km := NewKMeans(4, 3)
+	if err := km.Fit(points); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range points {
+		if km.Assign(p) != km.Labels()[i] {
+			t.Fatalf("Assign(points[%d]) != Labels()[%d]", i, i)
+		}
+	}
+}
+
+func TestKMeansKLargerThanN(t *testing.T) {
+	points := [][]float64{{0, 0}, {1, 1}, {2, 2}}
+	km := NewKMeans(10, 1)
+	if err := km.Fit(points); err != nil {
+		t.Fatal(err)
+	}
+	if km.NumClusters() != 3 {
+		t.Errorf("NumClusters = %d, want capped 3", km.NumClusters())
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if err := NewKMeans(3, 1).Fit(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if err := NewKMeans(0, 1).Fit([][]float64{{1}}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if err := NewKMeans(2, 1).Fit([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged input accepted")
+	}
+	km := NewKMeans(1, 1)
+	if err := km.Fit([][]float64{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := km.Fit([][]float64{{1}}); err == nil {
+		t.Error("double Fit accepted")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	points, _, _ := blobs(rng, 150, 3, 5, 1.0)
+	a := NewKMeans(5, 42)
+	b := NewKMeans(5, 42)
+	if err := a.Fit(points); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(points); err != nil {
+		t.Fatal(err)
+	}
+	for i := range points {
+		if a.Labels()[i] != b.Labels()[i] {
+			t.Fatal("same seed produced different labelings")
+		}
+	}
+}
+
+func TestKMeansEmptyClusterReseeding(t *testing.T) {
+	// Many duplicate points and large K force empty clusters during
+	// iteration; the model must still deliver K clusters over distinct
+	// points without panicking.
+	points := make([][]float64, 0, 40)
+	for i := 0; i < 10; i++ {
+		points = append(points, []float64{0, 0}, []float64{10, 10}, []float64{20, 0}, []float64{0, 20})
+	}
+	km := NewKMeans(4, 5)
+	if err := km.Fit(points); err != nil {
+		t.Fatal(err)
+	}
+	if km.NumClusters() != 4 {
+		t.Fatalf("NumClusters = %d", km.NumClusters())
+	}
+	counts := make([]int, 4)
+	for _, l := range km.Labels() {
+		counts[l]++
+	}
+	for c, n := range counts {
+		if n == 0 {
+			t.Errorf("cluster %d empty after reseeding", c)
+		}
+	}
+}
+
+func TestMeanShiftFindsSeparatedModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	points, truth, _ := blobs(rng, 240, 3, 3, 0.4)
+	ms := NewMeanShift(11)
+	if err := ms.Fit(points); err != nil {
+		t.Fatal(err)
+	}
+	if ms.NumClusters() < 2 {
+		t.Fatalf("found %d clusters, want >= 2", ms.NumClusters())
+	}
+	if r := agreement(ms.Labels(), truth); r < 0.9 {
+		t.Errorf("Rand index %v on separated blobs", r)
+	}
+}
+
+func TestMeanShiftDegenerateInput(t *testing.T) {
+	points := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	ms := NewMeanShift(1)
+	if err := ms.Fit(points); err != nil {
+		t.Fatal(err)
+	}
+	if ms.NumClusters() != 1 {
+		t.Errorf("identical points gave %d clusters", ms.NumClusters())
+	}
+	for _, l := range ms.Labels() {
+		if l != 0 {
+			t.Error("labels not all zero")
+		}
+	}
+}
+
+func TestMeanShiftFixedBandwidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	points, _, _ := blobs(rng, 150, 2, 2, 0.3)
+	ms := NewMeanShift(2)
+	ms.Bandwidth = 2.0
+	if err := ms.Fit(points); err != nil {
+		t.Fatal(err)
+	}
+	if ms.NumClusters() != 2 {
+		t.Errorf("bandwidth 2.0: %d clusters, want 2", ms.NumClusters())
+	}
+}
+
+func TestBirchRecoverBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	points, truth, _ := blobs(rng, 400, 4, 3, 0.3)
+	b := NewBirch(4, 9)
+	if err := b.Fit(points); err != nil {
+		t.Fatal(err)
+	}
+	if b.NumClusters() != 4 {
+		t.Fatalf("NumClusters = %d", b.NumClusters())
+	}
+	if b.NumLeafEntries() < 4 {
+		t.Errorf("CF-tree has only %d leaf entries", b.NumLeafEntries())
+	}
+	if r := agreement(b.Labels(), truth); r < 0.98 {
+		t.Errorf("Rand index %v on separated blobs", r)
+	}
+}
+
+func TestBirchTreeScalesEntries(t *testing.T) {
+	// With a tiny threshold every distinct point is its own leaf entry,
+	// forcing many node splits; the tree must stay consistent.
+	rng := rand.New(rand.NewSource(7))
+	points := make([][]float64, 500)
+	for i := range points {
+		points[i] = []float64{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	b := NewBirch(10, 1)
+	b.Threshold = 1e-9
+	b.Branching = 4
+	if err := b.Fit(points); err != nil {
+		t.Fatal(err)
+	}
+	if b.NumLeafEntries() != 500 {
+		t.Errorf("leaf entries = %d, want 500 distinct", b.NumLeafEntries())
+	}
+	if b.NumClusters() != 10 {
+		t.Errorf("NumClusters = %d", b.NumClusters())
+	}
+}
+
+func TestBirchErrors(t *testing.T) {
+	if err := NewBirch(3, 1).Fit(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if err := NewBirch(0, 1).Fit([][]float64{{1}}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	b := NewBirch(1, 1)
+	if err := b.Fit([][]float64{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit([][]float64{{1}}); err == nil {
+		t.Error("double Fit accepted")
+	}
+}
+
+// TestQuickAssignReturnsNearest property-tests the shared contract: for
+// any fitted model, Assign(x) is the argmin over centroids of the
+// distance to x.
+func TestQuickAssignReturnsNearest(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		points, _, _ := blobs(rng, 60+rng.Intn(60), 2+rng.Intn(3), 2+rng.Intn(3), 0.8)
+		models := []Clusterer{
+			NewKMeans(3, seed),
+			NewBirch(3, seed),
+		}
+		for _, m := range models {
+			if err := m.Fit(points); err != nil {
+				return false
+			}
+			for trial := 0; trial < 10; trial++ {
+				x := points[rng.Intn(len(points))]
+				got := m.Assign(x)
+				want, wantD := -1, math.Inf(1)
+				for c := 0; c < m.NumClusters(); c++ {
+					if d := linalg.SqDist(m.Centroid(c), x); d < wantD {
+						want, wantD = c, d
+					}
+				}
+				// Equal distances may tie; accept either argmin.
+				if got != want && linalg.SqDist(m.Centroid(got), x) > wantD+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMeanShiftFindsFewerClustersThanKMeans reproduces the qualitative
+// observation behind Table 4: on overlapping data Mean-Shift finds few
+// coarse clusters while K-Means can be driven to a fine granularity.
+func TestMeanShiftFindsFewerClustersThanKMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	points := make([][]float64, 600)
+	for i := range points {
+		points[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	ms := NewMeanShift(3)
+	if err := ms.Fit(points); err != nil {
+		t.Fatal(err)
+	}
+	km := NewKMeans(100, 3)
+	if err := km.Fit(points); err != nil {
+		t.Fatal(err)
+	}
+	if ms.NumClusters() >= km.NumClusters() {
+		t.Errorf("Mean-Shift %d clusters >= K-Means %d on diffuse data",
+			ms.NumClusters(), km.NumClusters())
+	}
+}

@@ -1,0 +1,43 @@
+package cluster
+
+import "fmt"
+
+// Frozen is a deserialised, predict-only clustering: just the centroids.
+// Every algorithm in this package classifies new points by nearest
+// centroid, so a Frozen model reproduces the inference behaviour of any
+// of them. It is the on-disk representation used by model persistence.
+type Frozen struct {
+	// Centroids are the cluster centres, indexable by cluster id.
+	Centroids [][]float64
+}
+
+// NewFrozen captures the centroids of a fitted clusterer.
+func NewFrozen(c Clusterer) *Frozen {
+	f := &Frozen{Centroids: make([][]float64, c.NumClusters())}
+	for i := range f.Centroids {
+		f.Centroids[i] = append([]float64(nil), c.Centroid(i)...)
+	}
+	return f
+}
+
+// Fit is not supported: a Frozen clustering is inference-only.
+func (f *Frozen) Fit([][]float64) error {
+	return fmt.Errorf("cluster: Frozen clustering cannot be refitted")
+}
+
+// NumClusters returns the number of stored centroids.
+func (f *Frozen) NumClusters() int { return len(f.Centroids) }
+
+// Labels returns nil: training assignments are not persisted.
+func (f *Frozen) Labels() []int { return nil }
+
+// Centroid returns centroid c.
+func (f *Frozen) Centroid(c int) []float64 { return f.Centroids[c] }
+
+// Assign returns the nearest centroid's index.
+func (f *Frozen) Assign(x []float64) int {
+	c, _ := nearestCentroid(f.Centroids, x)
+	return c
+}
+
+var _ Clusterer = (*Frozen)(nil)

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/linalg"
+)
+
+// KMeans is Lloyd's algorithm with k-means++ seeding. Point-to-centroid
+// assignment is parallelised across GOMAXPROCS goroutines, which matters
+// at the paper's cluster counts (hundreds to thousands of centroids).
+type KMeans struct {
+	// K is the requested number of clusters; the fitted model may hold
+	// fewer if the input has fewer distinct points.
+	K int
+	// MaxIter bounds the Lloyd iterations (default 100).
+	MaxIter int
+	// Tol stops iteration when no centroid moves more than Tol in
+	// squared distance (default 1e-8).
+	Tol float64
+	// Seed makes the k-means++ initialisation reproducible.
+	Seed int64
+
+	centroids [][]float64
+	labels    []int
+	inertia   float64
+	fitted    bool
+}
+
+// NewKMeans returns a K-Means model with the paper-style defaults.
+func NewKMeans(k int, seed int64) *KMeans {
+	return &KMeans{K: k, MaxIter: 100, Tol: 1e-8, Seed: seed}
+}
+
+// Fit runs k-means++ seeding followed by Lloyd iterations.
+func (m *KMeans) Fit(points [][]float64) error {
+	if m.fitted {
+		return fmt.Errorf("cluster: KMeans already fitted")
+	}
+	if err := checkInput(points); err != nil {
+		return err
+	}
+	if m.K <= 0 {
+		return fmt.Errorf("cluster: KMeans with K = %d", m.K)
+	}
+	k := m.K
+	if k > len(points) {
+		k = len(points)
+	}
+	if m.MaxIter <= 0 {
+		m.MaxIter = 100
+	}
+	if m.Tol <= 0 {
+		m.Tol = 1e-8
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	m.centroids = kmeansPlusPlus(rng, points, k)
+	m.labels = make([]int, len(points))
+
+	d := len(points[0])
+	for iter := 0; iter < m.MaxIter; iter++ {
+		m.inertia = assignParallel(points, m.centroids, m.labels)
+
+		// Recompute centroids.
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, d)
+		}
+		for i, p := range points {
+			c := m.labels[i]
+			linalg.Axpy(1, p, sums[c])
+			counts[c]++
+		}
+		// Re-seed empty clusters with the point farthest from its
+		// centroid, the standard fix that keeps K effective clusters.
+		for c := range sums {
+			if counts[c] > 0 {
+				continue
+			}
+			far, farD := 0, -1.0
+			for i, p := range points {
+				if counts[m.labels[i]] <= 1 {
+					continue
+				}
+				if dd := linalg.SqDist(p, m.centroids[m.labels[i]]); dd > farD {
+					far, farD = i, dd
+				}
+			}
+			old := m.labels[far]
+			counts[old]--
+			linalg.Axpy(-1, points[far], sums[old])
+			m.labels[far] = c
+			counts[c] = 1
+			copy(sums[c], points[far])
+		}
+
+		moved := 0.0
+		for c := range sums {
+			if counts[c] == 0 {
+				continue
+			}
+			linalg.Scale(1/float64(counts[c]), sums[c])
+			moved += linalg.SqDist(sums[c], m.centroids[c])
+			m.centroids[c] = sums[c]
+		}
+		if moved <= m.Tol {
+			break
+		}
+	}
+	m.inertia = assignParallel(points, m.centroids, m.labels)
+	m.fitted = true
+	return nil
+}
+
+// kmeansPlusPlus picks k seeds with D^2 weighting.
+func kmeansPlusPlus(rng *rand.Rand, points [][]float64, k int) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := append([]float64(nil), points[rng.Intn(len(points))]...)
+	centroids = append(centroids, first)
+
+	d2 := make([]float64, len(points))
+	for i, p := range points {
+		d2[i] = linalg.SqDist(p, first)
+	}
+	for len(centroids) < k {
+		total := 0.0
+		for _, v := range d2 {
+			total += v
+		}
+		var next []float64
+		if total == 0 {
+			next = points[rng.Intn(len(points))]
+		} else {
+			r := rng.Float64() * total
+			idx := len(points) - 1
+			acc := 0.0
+			for i, v := range d2 {
+				acc += v
+				if acc >= r {
+					idx = i
+					break
+				}
+			}
+			next = points[idx]
+		}
+		c := append([]float64(nil), next...)
+		centroids = append(centroids, c)
+		for i, p := range points {
+			if dd := linalg.SqDist(p, c); dd < d2[i] {
+				d2[i] = dd
+			}
+		}
+	}
+	return centroids
+}
+
+// assignParallel writes the nearest-centroid index of every point into
+// labels and returns the total inertia (sum of squared distances).
+func assignParallel(points [][]float64, centroids [][]float64, labels []int) float64 {
+	workers := runtime.GOMAXPROCS(0)
+	if len(points) < 256 || workers <= 1 {
+		total := 0.0
+		for i, p := range points {
+			c, dd := nearestCentroid(centroids, p)
+			labels[i] = c
+			total += dd
+		}
+		return total
+	}
+	var wg sync.WaitGroup
+	partial := make([]float64, workers)
+	chunk := (len(points) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(points) {
+			hi = len(points)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			sum := 0.0
+			for i := lo; i < hi; i++ {
+				c, dd := nearestCentroid(centroids, points[i])
+				labels[i] = c
+				sum += dd
+			}
+			partial[w] = sum
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0.0
+	for _, v := range partial {
+		total += v
+	}
+	return total
+}
+
+// NumClusters returns the number of centroids.
+func (m *KMeans) NumClusters() int { return len(m.centroids) }
+
+// Labels returns the training assignments.
+func (m *KMeans) Labels() []int { return m.labels }
+
+// Centroid returns centroid c.
+func (m *KMeans) Centroid(c int) []float64 { return m.centroids[c] }
+
+// Inertia returns the final sum of squared distances to assigned
+// centroids, the K-Means objective value.
+func (m *KMeans) Inertia() float64 { return m.inertia }
+
+// Assign returns the nearest centroid's index.
+func (m *KMeans) Assign(x []float64) int {
+	c, _ := nearestCentroid(m.centroids, x)
+	return c
+}
+
+var _ Clusterer = (*KMeans)(nil)

@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+)
+
+// banded builds an n x n matrix with a tight diagonal band: the regular
+// structure ELL likes.
+func banded(n int) *sparse.CSR {
+	t := sparse.NewTriplet(n, n)
+	for i := 0; i < n; i++ {
+		for j := i - 1; j <= i+1; j++ {
+			if j >= 0 && j < n {
+				_ = t.Add(i, j, 1)
+			}
+		}
+	}
+	return t.ToCSR()
+}
+
+// scattered builds an n x n matrix with random skewed rows: the
+// irregular structure where CSR is the safe choice.
+func scattered(n int, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	t := sparse.NewTriplet(n, n)
+	for i := 0; i < n; i++ {
+		deg := 1 + rng.Intn(8)
+		for e := 0; e < deg; e++ {
+			_ = t.Add(i, rng.Intn(n), 1)
+		}
+	}
+	return t.ToCSR()
+}
+
+// Training a selector on benchmarked matrices and querying it.
+func ExampleTrainSelector() {
+	var ms []*sparse.CSR
+	var best []sparse.Format
+	for k := 0; k < 30; k++ {
+		ms = append(ms, banded(100+k))
+		best = append(best, sparse.FormatELL) // benchmarking said: ELL
+		ms = append(ms, scattered(100+k, int64(k)))
+		best = append(best, sparse.FormatCSR) // benchmarking said: CSR
+	}
+	sel, err := core.TrainSelector(ms, best, core.Options{NumClusters: 8, Seed: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(sel.Select(banded(500)))
+	fmt.Println(sel.Select(scattered(500, 99)))
+	// Output:
+	// ELL
+	// CSR
+}
+
+// Porting a selector to an architecture with different preferences by
+// re-benchmarking a few matrices there.
+func ExampleSelector_Port() {
+	var ms []*sparse.CSR
+	var bestA, bestB []sparse.Format
+	for k := 0; k < 30; k++ {
+		ms = append(ms, banded(100+k))
+		bestA = append(bestA, sparse.FormatELL) // GPU A prefers ELL here
+		bestB = append(bestB, sparse.FormatCSR) // GPU B prefers CSR
+	}
+	sel, err := core.TrainSelector(ms, bestA, core.Options{NumClusters: 4, Seed: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	probe := banded(300)
+	fmt.Println("on A:", sel.Select(probe))
+	// Port with a sample of matrices re-benchmarked on B (enough to
+	// touch every cluster).
+	if err := sel.Port(ms, bestB); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("ported to B:", sel.Select(probe))
+	// Output:
+	// on A: ELL
+	// ported to B: CSR
+}

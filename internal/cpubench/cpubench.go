@@ -1,0 +1,140 @@
+// Package cpubench measures real wall-clock SpMV times of this
+// library's Go kernels on the host CPU, producing a genuinely measured
+// (non-simulated) labelled dataset for format selection.
+//
+// The paper motivates architecture-portable selection with the spread of
+// numerical workloads to "a wide variety of low-power devices"; the host
+// CPU here plays the role of exactly such an extra architecture. The
+// same features, clustering and labelling pipeline apply unchanged — the
+// demonstration that the approach is not tied to the GPU simulator.
+package cpubench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/sparse"
+)
+
+// Result holds one matrix's measured kernel times in
+// sparse.KernelFormats order (COO, CSR, ELL, HYB); formats whose
+// conversion failed are +Inf.
+type Result struct {
+	// Times are the per-format best-of-trials seconds.
+	Times []float64
+	// Best is the index of the fastest format, or -1 if none ran.
+	Best int
+}
+
+// Feasible reports whether every kernel ran.
+func (r Result) Feasible() bool {
+	for _, t := range r.Times {
+		if math.IsInf(t, 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// BestFormat returns the fastest format, or false when nothing ran.
+func (r Result) BestFormat() (sparse.Format, bool) {
+	if r.Best < 0 {
+		return 0, false
+	}
+	return sparse.KernelFormats()[r.Best], true
+}
+
+// DefaultTrials is the default repetition count. The paper averages 100
+// trials; the minimum over a handful is a robust cheap estimator for
+// the CPU case.
+const DefaultTrials = 7
+
+// Measure times every kernel format on the matrix and returns the
+// per-format best-of-trials. Trials <= 0 selects DefaultTrials.
+func Measure(m *sparse.CSR, trials int) (Result, error) {
+	if trials <= 0 {
+		trials = DefaultTrials
+	}
+	rows, cols := m.Dims()
+	x := make([]float64, cols)
+	for i := range x {
+		x[i] = 1.0 / float64(i+1)
+	}
+	y := make([]float64, rows)
+
+	r := Result{Times: make([]float64, sparse.NumKernelFormats), Best: -1}
+	best := math.Inf(1)
+	for i, f := range sparse.KernelFormats() {
+		conv, err := sparse.Convert(m, f)
+		if err != nil {
+			// ELL (or another slab format) can exceed its size limit;
+			// that format simply is not available for this matrix, as
+			// with CUSP's conversion failures in the paper.
+			r.Times[i] = math.Inf(1)
+			continue
+		}
+		t, err := timeKernel(conv, y, x, trials)
+		if err != nil {
+			return Result{}, fmt.Errorf("cpubench: timing %v: %w", f, err)
+		}
+		r.Times[i] = t
+		if t < best {
+			best = t
+			r.Best = i
+		}
+	}
+	return r, nil
+}
+
+// timeKernel returns the minimum seconds over trials, with one warm-up
+// run to populate caches and page in the structure.
+func timeKernel(m sparse.Matrix, y, x []float64, trials int) (float64, error) {
+	if err := m.SpMV(y, x); err != nil {
+		return 0, err
+	}
+	best := math.Inf(1)
+	for t := 0; t < trials; t++ {
+		start := time.Now()
+		if err := m.SpMV(y, x); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start).Seconds(); d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// Labeled is a measured dataset: features must be attached by the
+// caller (they come from the features package and are the same vectors
+// used for the simulated architectures).
+type Labeled struct {
+	Names  []string
+	Times  [][]float64
+	Labels []int
+}
+
+// MeasureAll measures a batch of named matrices, dropping infeasible
+// ones, and reports how many were dropped.
+func MeasureAll(names []string, ms []*sparse.CSR, trials int) (Labeled, int, error) {
+	if len(names) != len(ms) {
+		return Labeled{}, 0, fmt.Errorf("cpubench: %d names but %d matrices", len(names), len(ms))
+	}
+	var out Labeled
+	dropped := 0
+	for i, m := range ms {
+		r, err := Measure(m, trials)
+		if err != nil {
+			return Labeled{}, 0, err
+		}
+		if !r.Feasible() {
+			dropped++
+			continue
+		}
+		out.Names = append(out.Names, names[i])
+		out.Times = append(out.Times, r.Times)
+		out.Labels = append(out.Labels, r.Best)
+	}
+	return out, dropped, nil
+}

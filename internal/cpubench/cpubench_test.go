@@ -1,0 +1,93 @@
+package cpubench
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+)
+
+func testMatrix(t *testing.T, seed int64) *sparse.CSR {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	return dataset.FamilyBanded.Generate(rng, 0.3)
+}
+
+func TestMeasureBasics(t *testing.T) {
+	m := testMatrix(t, 1)
+	r, err := Measure(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Times) != sparse.NumKernelFormats {
+		t.Fatalf("%d times", len(r.Times))
+	}
+	if !r.Feasible() {
+		t.Fatal("banded matrix should run in every format")
+	}
+	best, ok := r.BestFormat()
+	if !ok {
+		t.Fatal("no best format")
+	}
+	bestT := r.Times[r.Best]
+	for i, tm := range r.Times {
+		if tm <= 0 || math.IsNaN(tm) {
+			t.Errorf("format %d: time %v", i, tm)
+		}
+		if tm < bestT {
+			t.Errorf("Best (%v) is not the minimum", best)
+		}
+	}
+}
+
+func TestMeasureInfeasibleELL(t *testing.T) {
+	// One near-dense row in a tall matrix: ELL conversion exceeds the
+	// library limit, so ELL must report +Inf and the result infeasible.
+	tr := sparse.NewTriplet(3000, 600)
+	for j := 0; j < 600; j++ {
+		if err := tr.Add(0, j, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < 3000; i++ {
+		if err := tr.Add(i, i%600, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := Measure(tr.ToCSR(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Feasible() {
+		t.Error("expected ELL infeasibility")
+	}
+	if !math.IsInf(r.Times[2], 1) { // ELL index in kernel order
+		t.Errorf("ELL time = %v, want +Inf", r.Times[2])
+	}
+	// Some format still wins.
+	if r.Best < 0 {
+		t.Error("no best format despite feasible kernels")
+	}
+}
+
+func TestMeasureAll(t *testing.T) {
+	ms := []*sparse.CSR{testMatrix(t, 2), testMatrix(t, 3)}
+	names := []string{"a", "b"}
+	lab, dropped, err := MeasureAll(names, ms, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lab.Names)+dropped != 2 {
+		t.Fatalf("names %d + dropped %d != 2", len(lab.Names), dropped)
+	}
+	for i, l := range lab.Labels {
+		if l < 0 || l >= sparse.NumKernelFormats {
+			t.Errorf("row %d: label %d", i, l)
+		}
+	}
+	if _, _, err := MeasureAll([]string{"x"}, ms, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

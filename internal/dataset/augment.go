@@ -1,0 +1,57 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sparse"
+)
+
+// Augment derives variants of a matrix by windowed row and column
+// permutations, the augmentation strategy the paper borrows from the
+// CNN-based prior work (Zhao et al., Pichel et al.). Permutations are
+// windowed rather than global so the variants keep the coarse structure
+// (bandedness, blocks) that determines their best format, while the fine
+// layout — and therefore the exact feature values such as csr_max and
+// the scatter — changes.
+//
+// It returns n new matrices; the input is not modified.
+func Augment(rng *rand.Rand, m *sparse.CSR, n int) ([]*sparse.CSR, error) {
+	rows, cols := m.Dims()
+	out := make([]*sparse.CSR, 0, n)
+	for v := 0; v < n; v++ {
+		rp := windowedPerm(rng, rows, 1+rows/8)
+		cp := windowedPerm(rng, cols, 1+cols/8)
+		p, err := m.Permute(rp, cp)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: augmenting variant %d: %w", v, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// windowedPerm builds a permutation of [0, n) that shuffles indices only
+// within consecutive windows of the given size, bounding how far any
+// entry can move.
+func windowedPerm(rng *rand.Rand, n, window int) []int {
+	if window < 2 {
+		window = 2
+	}
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for base := 0; base < n; base += window {
+		hi := base + window
+		if hi > n {
+			hi = n
+		}
+		// Fisher-Yates within the window.
+		for i := hi - 1; i > base; i-- {
+			j := base + rng.Intn(i-base+1)
+			p[i], p[j] = p[j], p[i]
+		}
+	}
+	return p
+}

@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPaperHeadlineClaims checks, at reduced scale, the qualitative
+// claims the reproduction must preserve (see DESIGN.md section 4):
+//
+//  1. the best semi-supervised configuration is competitive with the
+//     supervised models in the local setting;
+//  2. in the transfer setting at 0% retraining, K-Means is comparable
+//     to the supervised classifiers;
+//  3. supervised models gain more from retraining than the
+//     semi-supervised ones (they "depend more on retraining").
+func TestPaperHeadlineClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration comparison in -short mode")
+	}
+	env := getEnv(t)
+	opt := QuickOptions()
+	opt.NCSweep = []int{24, 48}
+
+	// Claim 1: local parity.
+	t4, err := Table4(env, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t6, err := Table6(env, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arch := range []string{"Pascal", "Volta", "Turing"} {
+		semiBest, supBest := -2.0, -2.0
+		for _, r := range t4 {
+			if r.Arch == arch && r.M.MCC > semiBest {
+				semiBest = r.M.MCC
+			}
+		}
+		for _, r := range t6 {
+			if r.Arch == arch && r.Model != "CNN" && r.M.MCC > supBest {
+				supBest = r.M.MCC
+			}
+		}
+		if semiBest < 0.5*supBest {
+			t.Errorf("%s: best semi-supervised MCC %.3f not competitive with supervised %.3f",
+				arch, semiBest, supBest)
+		}
+	}
+
+	// Claims 2 and 3: transfer behaviour.
+	opt.Folds = 2
+	t5, err := Table5(env, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t7, err := Table7(env, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean ACC at 0% and the retraining gain, per approach.
+	semi0, semi50, nSemi := 0.0, 0.0, 0
+	for _, r := range t5 {
+		if !strings.HasPrefix(r.Algo, "K-Means") {
+			continue
+		}
+		semi0 += r.M[0].ACC
+		semi50 += r.M[2].ACC
+		nSemi++
+	}
+	sup0, sup50, nSup := 0.0, 0.0, 0
+	for _, r := range t7 {
+		sup0 += r.M[0].ACC
+		sup50 += r.M[2].ACC
+		nSup++
+	}
+	semi0 /= float64(nSemi)
+	semi50 /= float64(nSemi)
+	sup0 /= float64(nSup)
+	sup50 /= float64(nSup)
+
+	if semi0 < sup0-0.12 {
+		t.Errorf("claim 2: K-Means at 0%% retraining (ACC %.3f) far below supervised (%.3f)",
+			semi0, sup0)
+	}
+	semiGain := semi50 - semi0
+	supGain := sup50 - sup0
+	if supGain < semiGain-0.05 {
+		t.Errorf("claim 3: supervised retraining gain %.3f not larger than semi-supervised %.3f",
+			supGain, semiGain)
+	}
+	t.Logf("local parity checked; transfer: semi 0%%=%.3f gain=%.3f, sup 0%%=%.3f gain=%.3f",
+		semi0, semiGain, sup0, supGain)
+}

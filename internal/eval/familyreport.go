@@ -1,0 +1,72 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// FamilyStats summarises a model's behaviour on one generator family:
+// how often it is right and what the family's dominant true format is.
+type FamilyStats struct {
+	Family   string
+	Count    int
+	Correct  int
+	Accuracy float64
+	// TrueDist[c] counts the family's ground-truth labels per class.
+	TrueDist []int
+}
+
+// FamilyReport breaks a prediction vector down by generator family
+// (recovered from the matrix naming convention "family_NNNN[_pK]").
+// It answers the explainability question the tables aggregate away:
+// *which kinds* of matrices a model gets wrong.
+func FamilyReport(d *dataset.ArchData, pred []int, classes int) ([]FamilyStats, error) {
+	if len(pred) != d.Len() {
+		return nil, fmt.Errorf("eval: %d predictions for %d rows", len(pred), d.Len())
+	}
+	byFam := map[string]*FamilyStats{}
+	for i, name := range d.Names {
+		fam := strings.SplitN(name, "_", 2)[0]
+		s := byFam[fam]
+		if s == nil {
+			s = &FamilyStats{Family: fam, TrueDist: make([]int, classes)}
+			byFam[fam] = s
+		}
+		if d.Labels[i] < 0 || d.Labels[i] >= classes {
+			return nil, fmt.Errorf("eval: label %d out of range at row %d", d.Labels[i], i)
+		}
+		if pred[i] < 0 || pred[i] >= classes {
+			return nil, fmt.Errorf("eval: prediction %d out of range at row %d", pred[i], i)
+		}
+		s.Count++
+		s.TrueDist[d.Labels[i]]++
+		if pred[i] == d.Labels[i] {
+			s.Correct++
+		}
+	}
+	out := make([]FamilyStats, 0, len(byFam))
+	for _, s := range byFam {
+		s.Accuracy = float64(s.Correct) / float64(s.Count)
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Family < out[b].Family })
+	return out, nil
+}
+
+// RenderFamilyReport prints the breakdown as a text table.
+func RenderFamilyReport(w io.Writer, stats []FamilyStats) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "family\tn\taccuracy\ttrue-label distribution (COO/CSR/ELL/HYB)")
+	for _, s := range stats {
+		dist := make([]string, len(s.TrueDist))
+		for i, v := range s.TrueDist {
+			dist[i] = fmt.Sprintf("%d", v)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%s\n", s.Family, s.Count, s.Accuracy, strings.Join(dist, "/"))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/classify"
+)
+
+func TestSelectFeaturesFindsInformativeSubset(t *testing.T) {
+	// 8 features; only 1 and 5 carry signal (together they determine the
+	// class), the rest are noise. Forward selection must pick both and
+	// mostly ignore the noise.
+	rng := rand.New(rand.NewSource(1))
+	n := 400
+	feats := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range feats {
+		row := make([]float64, 8)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		cls := 0
+		if row[1] > 0.5 {
+			cls++
+		}
+		if row[5] > 0.5 {
+			cls += 2
+		}
+		feats[i] = row
+		labels[i] = cls
+	}
+	build := func() classify.Classifier { return classify.NewTree(6) }
+	sel, score, err := SelectFeatures(feats, labels, build, 4, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := map[int]bool{}
+	for _, f := range sel {
+		has[f] = true
+	}
+	if !has[1] || !has[5] {
+		t.Errorf("selection %v missed an informative feature", sel)
+	}
+	if score < 0.9 {
+		t.Errorf("selected-subset MCC %.3f", score)
+	}
+	if len(sel) > 4 {
+		t.Errorf("selection exceeded maxFeatures: %v", sel)
+	}
+}
+
+func TestSelectFeaturesValidation(t *testing.T) {
+	build := func() classify.Classifier { return classify.NewKNN(3) }
+	if _, _, err := SelectFeatures(nil, nil, build, 2, 2, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, _, err := SelectFeatures([][]float64{{1}}, []int{0, 1}, build, 2, 2, 1); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+}
+
+func TestSelectFeaturesOnCorpus(t *testing.T) {
+	// On the real corpus, a small selected subset should reach a
+	// meaningful MCC for KNN (the paper's point: a tuned subset per
+	// model is enough).
+	env := getEnv(t)
+	d := env.Corpus.PerArch["Turing"]
+	feats, err := scaledFeatures(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() classify.Classifier { return classify.NewKNN(5) }
+	sel, score, err := SelectFeatures(feats, d.Labels, build, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) == 0 || score < 0.2 {
+		t.Errorf("corpus selection %v scored %.3f", sel, score)
+	}
+	t.Logf("KNN subset %v, MCC %.3f", sel, score)
+}

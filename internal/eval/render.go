@@ -1,0 +1,164 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/features"
+	"repro/internal/gpusim"
+	"repro/internal/preprocess"
+	"repro/internal/sparse"
+)
+
+// fitScaler fits the paper's skew + min-max stages (no PCA).
+func fitScaler(rows [][]float64) (preprocess.Chain, error) {
+	return preprocess.FitPipeline(rows, preprocess.Options{SkipPCA: true})
+}
+
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// RenderTable1 prints the Table 1 feature catalogue.
+func RenderTable1(w io.Writer) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Table 1: sparse matrix features used for automated format selection")
+	fmt.Fprintln(tw, "feature\tindex")
+	for i, n := range features.Names {
+		fmt.Fprintf(tw, "%s\t%d\n", n, i)
+	}
+	return tw.Flush()
+}
+
+// RenderTable2 prints the GPU specifications.
+func RenderTable2(w io.Writer) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Table 2: NVIDIA GPUs modelled by gpusim")
+	fmt.Fprintln(tw, "arch\tmodel\tSMs\tL1/SM KiB\tL2 KiB\tmem GB\tmem type\tBW GB/s")
+	for _, a := range gpusim.Archs() {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%.0f\t%s\t%.0f\n",
+			a.Name, a.Model, a.SMs, a.L1PerSMKiB, a.L2KiB, a.MemoryGB, a.MemoryType, a.BandwidthGBs)
+	}
+	return tw.Flush()
+}
+
+// RenderTable3 prints the label distributions.
+func RenderTable3(w io.Writer, rows []Table3Row) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Table 3: distribution of the best sparse formats across GPUs")
+	fmt.Fprint(tw, "format")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "\t%s", r.Arch)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(tw, "\t%s(common)", r.Arch)
+	}
+	fmt.Fprintln(tw)
+	for i, f := range sparse.KernelFormats() {
+		fmt.Fprint(tw, f)
+		for _, r := range rows {
+			fmt.Fprintf(tw, "\t%d", r.Counts[i])
+		}
+		for _, r := range rows {
+			fmt.Fprintf(tw, "\t%d", r.Common[i])
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprint(tw, "Total")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "\t%d", r.Total)
+	}
+	common := 0
+	for _, c := range rows[0].Common {
+		common += c
+	}
+	fmt.Fprintf(tw, "\t%d (common)\n", common)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "worst CSR slowdown on %s: %.2fX (%s)\n", r.Arch, r.MaxSlowdown, r.MaxSlowdownName)
+	}
+	return nil
+}
+
+// RenderTable4 prints the semi-supervised local results.
+func RenderTable4(w io.Writer, rows []Table4Row) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Table 4: semi-supervised performance per clustering algorithm and GPU")
+	fmt.Fprintln(tw, "arch\talgorithm\tNC\tMCC\tACC\tF1")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.3f\t%.3f\t%.3f\n",
+			r.Arch, r.Algo, r.NC, r.M.MCC, r.M.ACC, r.M.F1)
+	}
+	return tw.Flush()
+}
+
+// RenderTable5 prints the semi-supervised transfer results.
+func RenderTable5(w io.Writer, rows []Table5Row) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Table 5: semi-supervised transfer across GPUs (0/25/50% retraining)")
+	fmt.Fprintln(tw, "pair\talgorithm\tNC\tMCC0\tACC0\tF1_0\tMCC25\tACC25\tF1_25\tMCC50\tACC50\tF1_50")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d", r.Pair, r.Algo, r.NC)
+		for _, m := range r.M {
+			fmt.Fprintf(tw, "\t%.3f\t%.3f\t%.3f", m.MCC, m.ACC, m.F1)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// RenderTable6 prints the supervised local results.
+func RenderTable6(w io.Writer, rows []Table6Row) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Table 6: supervised models per GPU")
+	fmt.Fprintln(tw, "arch\tmodel\tACC\tF1\tMCC\tGT\tCSR\tThresh")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%d\n",
+			r.Arch, r.Model, 100*r.M.ACC, r.M.F1, r.M.MCC, r.M.GT, r.M.CSR, r.M.Threshold)
+	}
+	return tw.Flush()
+}
+
+// RenderTable7 prints the supervised transfer results.
+func RenderTable7(w io.Writer, rows []Table7Row) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Table 7: supervised transfer across GPUs (0/25/50% retraining)")
+	fmt.Fprintln(tw, "pair\tmodel\tACC0\tF1_0\tMCC0\tGT0\tCSR0\tACC25\tF1_25\tMCC25\tGT25\tCSR25\tACC50\tF1_50\tMCC50\tGT50\tCSR50")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s", r.Pair, r.Model)
+		for _, m := range r.M {
+			fmt.Fprintf(tw, "\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f", 100*m.ACC, m.F1, m.MCC, m.GT, m.CSR)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// RenderTable8 prints the conversion and benchmarking costs.
+func RenderTable8(w io.Writer, r Table8Result) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Table 8: conversion cost (CSR-SpMV units) and modelled benchmarking time")
+	fmt.Fprintln(tw, "format\tconversion cost")
+	for _, f := range []string{"COO", "ELL", "HYB"} {
+		fmt.Fprintf(tw, "%s\t%.0f\n", f, r.ConversionCost[f])
+	}
+	fmt.Fprintln(tw, "platform\ttime (hours)")
+	for _, a := range gpusim.Archs() {
+		fmt.Fprintf(tw, "%s\t%.0f\n", a.Name, r.Hours[a.Name])
+	}
+	return tw.Flush()
+}
+
+// RenderTable9 prints the measured training times.
+func RenderTable9(w io.Writer, rows []Table9Row) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Table 9: training wall-clock seconds (0/25/50% transfer data)")
+	fmt.Fprintln(tw, "model\t0%\t25%\t50%")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\n", r.Model, r.Secs[0], r.Secs[1], r.Secs[2])
+	}
+	return tw.Flush()
+}

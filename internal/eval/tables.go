@@ -1,0 +1,566 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/dataset"
+	"repro/internal/gpusim"
+	"repro/internal/metrics"
+	"repro/internal/semisup"
+	"repro/internal/sparse"
+)
+
+// Metrics is the (MCC, ACC, F1) triple reported throughout the paper.
+type Metrics struct {
+	MCC, ACC, F1 float64
+}
+
+// SupMetrics adds the SpMV-outcome columns of Tables 6 and 7.
+type SupMetrics struct {
+	ACC, F1, MCC, GT, CSR float64
+	Threshold             int
+}
+
+// Combo names one semi-supervised configuration using the paper's
+// naming ("K-Means-VOTE", ...).
+type Combo struct {
+	Algo semisup.Algorithm
+	Rule semisup.Rule
+}
+
+// Name formats the combo as the paper does.
+func (c Combo) Name() string {
+	algo := map[semisup.Algorithm]string{
+		semisup.AlgoKMeans:    "K-Means",
+		semisup.AlgoMeanShift: "Mean-Shift",
+		semisup.AlgoBirch:     "Birch",
+	}[c.Algo]
+	rule := map[semisup.Rule]string{
+		semisup.RuleVote: "VOTE",
+		semisup.RuleLR:   "LR",
+		semisup.RuleRF:   "RF",
+	}[c.Rule]
+	return algo + "-" + rule
+}
+
+// Combos returns the nine clustering x labelling configurations of the
+// paper's Section 4, in Table 4's order.
+func Combos() []Combo {
+	var out []Combo
+	for _, a := range []semisup.Algorithm{semisup.AlgoKMeans, semisup.AlgoMeanShift, semisup.AlgoBirch} {
+		for _, r := range []semisup.Rule{semisup.RuleVote, semisup.RuleLR, semisup.RuleRF} {
+			out = append(out, Combo{a, r})
+		}
+	}
+	return out
+}
+
+// evalMetrics computes the triple from truth and predictions.
+func evalMetrics(truth, pred []int) (Metrics, error) {
+	c, err := metrics.NewConfusion(truth, pred, sparse.NumKernelFormats)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return Metrics{MCC: c.MCC(), ACC: c.Accuracy(), F1: c.F1Weighted()}, nil
+}
+
+// ---------------------------------------------------------------------
+// Table 3: best-format distribution per GPU and the common subset.
+
+// Table3Row is one architecture's class distribution.
+type Table3Row struct {
+	Arch   string
+	Counts [sparse.NumKernelFormats]int
+	Common [sparse.NumKernelFormats]int
+	Total  int
+	// MaxSlowdown is the worst CSR-vs-best ratio with the matrix name,
+	// the paper's Section 2.2 anecdote.
+	MaxSlowdown     float64
+	MaxSlowdownName string
+}
+
+// Table3 computes the label distributions.
+func Table3(env *Env) []Table3Row {
+	rows := make([]Table3Row, 0, len(env.Archs))
+	for _, a := range env.Archs {
+		d := env.Corpus.PerArch[a.Name]
+		var r Table3Row
+		r.Arch = a.Name
+		r.Counts = d.ClassCounts()
+		r.Common = env.Common[a.Name].ClassCounts()
+		r.Total = d.Len()
+		ratio, row := metrics.MaxSlowdown(d.Times)
+		r.MaxSlowdown = ratio
+		r.MaxSlowdownName = d.Names[row]
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------
+// Table 4: semi-supervised local evaluation.
+
+// Table4Row is one (architecture, combo) result at its best NC.
+type Table4Row struct {
+	Arch string
+	Algo string
+	NC   int
+	M    Metrics
+}
+
+// Table4 cross-validates all nine combos on each architecture, sweeping
+// NC for the K-driven algorithms and reporting the best-MCC setting.
+func Table4(env *Env, opt Options) ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, a := range env.Archs {
+		d := env.Corpus.PerArch[a.Name]
+		for _, combo := range Combos() {
+			sweep := opt.NCSweep
+			if combo.Algo == semisup.AlgoMeanShift {
+				sweep = []int{0} // Mean-Shift finds its own NC
+			}
+			best := Table4Row{Arch: a.Name, Algo: combo.Name(), M: Metrics{MCC: -2}}
+			for _, nc := range sweep {
+				m, avgNC, err := cvSemi(d, combo, nc, opt)
+				if err != nil {
+					return nil, fmt.Errorf("eval: Table4 %s/%s: %w", a.Name, combo.Name(), err)
+				}
+				if m.MCC > best.M.MCC {
+					best.M = m
+					best.NC = avgNC
+				}
+			}
+			rows = append(rows, best)
+		}
+	}
+	return rows, nil
+}
+
+// cvSemi cross-validates one combo at one NC on one architecture's data,
+// returning mean metrics and the mean cluster count.
+func cvSemi(d *dataset.ArchData, combo Combo, nc int, opt Options) (Metrics, int, error) {
+	folds := StratifiedFolds(d.Labels, opt.Folds, opt.Seed)
+	var truth, pred []int
+	ncSum := 0
+	for f, test := range folds {
+		train := trainTestSplit(d.Len(), test)
+		cfg := semisup.Config{
+			Algorithm:   combo.Algo,
+			Rule:        combo.Rule,
+			NumClusters: nc,
+			Seed:        opt.Seed + int64(f),
+		}
+		m, err := semisup.Train(gather(d.Feats, train), gatherInts(d.Labels, train),
+			sparse.NumKernelFormats, cfg)
+		if err != nil {
+			return Metrics{}, 0, err
+		}
+		ncSum += m.NumClusters()
+		truth = append(truth, gatherInts(d.Labels, test)...)
+		pred = append(pred, m.PredictAll(gather(d.Feats, test))...)
+	}
+	m, err := evalMetrics(truth, pred)
+	return m, ncSum / len(folds), err
+}
+
+// ---------------------------------------------------------------------
+// Table 5: semi-supervised transfer across architecture pairs.
+
+// Table5Row is one (source -> target, combo) result at the three
+// retraining fractions 0%, 25%, 50%.
+type Table5Row struct {
+	Pair string
+	Algo string
+	NC   int
+	M    [3]Metrics
+}
+
+// RetrainFractions are the retraining levels of Tables 5 and 7.
+var RetrainFractions = [3]float64{0, 0.25, 0.50}
+
+// TransferPairs returns the six ordered (source, target) architecture
+// pairs in Table 5's order.
+func TransferPairs(archs []gpusim.Arch) [][2]gpusim.Arch {
+	var out [][2]gpusim.Arch
+	for _, src := range archs {
+		for _, tgt := range archs {
+			if src.Name != tgt.Name {
+				out = append(out, [2]gpusim.Arch{src, tgt})
+			}
+		}
+	}
+	return out
+}
+
+// Table5 evaluates all combos on every transfer pair over the common
+// subset: the model is trained with source labels, then incrementally
+// relabelled with growing fractions of target labels.
+func Table5(env *Env, opt Options) ([]Table5Row, error) {
+	var rows []Table5Row
+	for _, pair := range TransferPairs(env.Archs) {
+		src := env.Common[pair[0].Name]
+		tgt := env.Common[pair[1].Name]
+		for _, combo := range Combos() {
+			row := Table5Row{
+				Pair: fmt.Sprintf("%s to %s", pair[0].Name, pair[1].Name),
+				Algo: combo.Name(),
+			}
+			folds := StratifiedFolds(tgt.Labels, opt.Folds, opt.Seed)
+			var truth [3][]int
+			var pred [3][]int
+			ncSum := 0
+			for f, test := range folds {
+				train := trainTestSplit(tgt.Len(), test)
+				cfg := semisup.Config{
+					Algorithm:   combo.Algo,
+					Rule:        combo.Rule,
+					NumClusters: opt.TransferNC,
+					Seed:        opt.Seed + int64(f),
+				}
+				// Train with SOURCE labels: the portable model.
+				m, err := semisup.Train(gather(src.Feats, train), gatherInts(src.Labels, train),
+					sparse.NumKernelFormats, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("eval: Table5 %s/%s: %w", row.Pair, combo.Name(), err)
+				}
+				ncSum += m.NumClusters()
+				testX := gather(tgt.Feats, test)
+				testY := gatherInts(tgt.Labels, test)
+				for fi, frac := range RetrainFractions {
+					if frac > 0 {
+						take := int(frac * float64(len(train)))
+						if take < 1 {
+							take = 1
+						}
+						sub := train[:take]
+						if err := m.Relabel(gather(tgt.Feats, sub), gatherInts(tgt.Labels, sub)); err != nil {
+							return nil, err
+						}
+					}
+					truth[fi] = append(truth[fi], testY...)
+					pred[fi] = append(pred[fi], m.PredictAll(testX)...)
+				}
+			}
+			row.NC = ncSum / len(folds)
+			for fi := range RetrainFractions {
+				m, err := evalMetrics(truth[fi], pred[fi])
+				if err != nil {
+					return nil, err
+				}
+				row.M[fi] = m
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------
+// Tables 6 and 7: supervised baselines, local and transfer.
+
+// SupervisedModels returns the paper's supervised baselines, in Table
+// 6's order. The CNN is built separately since it consumes images.
+func SupervisedModels(seed int64) []struct {
+	Name  string
+	Build func() classify.Classifier
+} {
+	return []struct {
+		Name  string
+		Build func() classify.Classifier
+	}{
+		{"DT", func() classify.Classifier { return classify.NewTree(10) }},
+		{"RF", func() classify.Classifier { return classify.NewForest(seed) }},
+		{"SVM", func() classify.Classifier { return classify.NewSVM(seed) }},
+		{"KNN", func() classify.Classifier { return classify.NewKNN(5) }},
+		{"XGBoost", func() classify.Classifier { return classify.NewGBoost() }},
+	}
+}
+
+// Table6Row is one (architecture, model) local result.
+type Table6Row struct {
+	Arch  string
+	Model string
+	M     SupMetrics
+}
+
+// Table6 cross-validates the supervised baselines (plus the CNN) on
+// each architecture.
+func Table6(env *Env, opt Options) ([]Table6Row, error) {
+	var rows []Table6Row
+	for _, a := range env.Archs {
+		d := env.Corpus.PerArch[a.Name]
+		feats, err := scaledFeatures(d)
+		if err != nil {
+			return nil, err
+		}
+		images := env.ImagesFor(d)
+		models := SupervisedModels(opt.Seed)
+		for _, spec := range models {
+			m, err := cvSupervised(d, feats, func() classify.Classifier { return spec.Build() }, opt)
+			if err != nil {
+				return nil, fmt.Errorf("eval: Table6 %s/%s: %w", a.Name, spec.Name, err)
+			}
+			rows = append(rows, Table6Row{Arch: a.Name, Model: spec.Name, M: m})
+		}
+		// CNN on density images.
+		cnnBuild := func() classify.Classifier {
+			c := classify.NewCNN(opt.Seed)
+			c.Epochs = opt.CNNEpochs
+			return c
+		}
+		m, err := cvSupervised(d, images, cnnBuild, opt)
+		if err != nil {
+			return nil, fmt.Errorf("eval: Table6 %s/CNN: %w", a.Name, err)
+		}
+		rows = append(rows, Table6Row{Arch: a.Name, Model: "CNN", M: m})
+	}
+	return rows, nil
+}
+
+// scaledFeatures applies the paper's skew + min-max stages (no PCA, so
+// tree models keep interpretable axes) fitted on the whole arch dataset.
+// Fitting scaling on train folds only changes results negligibly and
+// the paper normalises per dataset.
+func scaledFeatures(d *dataset.ArchData) ([][]float64, error) {
+	chain, err := fitScaler(d.Feats)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, d.Len())
+	for i, r := range d.Feats {
+		out[i] = chain.Transform(r)
+	}
+	return out, nil
+}
+
+// cvSupervised cross-validates one model family over the rows of d using
+// the supplied feature representation.
+func cvSupervised(d *dataset.ArchData, feats [][]float64, build func() classify.Classifier, opt Options) (SupMetrics, error) {
+	folds := StratifiedFolds(d.Labels, opt.Folds, opt.Seed)
+	var truth, pred []int
+	var times [][]float64
+	for _, test := range folds {
+		train := trainTestSplit(d.Len(), test)
+		clf := build()
+		if err := clf.Fit(gather(feats, train), gatherInts(d.Labels, train), sparse.NumKernelFormats); err != nil {
+			return SupMetrics{}, err
+		}
+		for _, i := range test {
+			truth = append(truth, d.Labels[i])
+			pred = append(pred, clf.Predict(feats[i]))
+			times = append(times, d.Times[i])
+		}
+	}
+	return supMetrics(truth, pred, times)
+}
+
+func supMetrics(truth, pred []int, times [][]float64) (SupMetrics, error) {
+	c, err := metrics.NewConfusion(truth, pred, sparse.NumKernelFormats)
+	if err != nil {
+		return SupMetrics{}, err
+	}
+	sp, err := metrics.Speedups(times, pred)
+	if err != nil {
+		return SupMetrics{}, err
+	}
+	return SupMetrics{
+		ACC: c.Accuracy(), F1: c.F1Weighted(), MCC: c.MCC(),
+		GT: sp.GT, CSR: sp.CSR, Threshold: sp.Threshold,
+	}, nil
+}
+
+// Table7Row is one (pair, model) transfer result at the three
+// retraining fractions.
+type Table7Row struct {
+	Pair  string
+	Model string
+	M     [3]SupMetrics
+}
+
+// Table7Pairs returns the five transfer pairs of Table 7 (the paper
+// omits Volta to Pascal as near-identical to Turing to Pascal).
+func Table7Pairs(archs []gpusim.Arch) [][2]gpusim.Arch {
+	all := TransferPairs(archs)
+	out := all[:0:0]
+	for _, p := range all {
+		if p[0].Name == "Volta" && p[1].Name == "Pascal" {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Table7 evaluates the supervised baselines in the transfer setting:
+// models are trained on source labels, with a fraction of the training
+// matrices relabelled by target benchmarking.
+func Table7(env *Env, opt Options) ([]Table7Row, error) {
+	var rows []Table7Row
+	for _, pair := range Table7Pairs(env.Archs) {
+		src := env.Common[pair[0].Name]
+		tgt := env.Common[pair[1].Name]
+		feats, err := scaledFeatures(tgt) // identical features; scaling fit on common subset
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range SupervisedModels(opt.Seed) {
+			row := Table7Row{
+				Pair:  fmt.Sprintf("%s to %s", pair[0].Name, pair[1].Name),
+				Model: spec.Name,
+			}
+			folds := StratifiedFolds(tgt.Labels, opt.Folds, opt.Seed)
+			var truth [3][]int
+			var pred [3][]int
+			var times [3][][]float64
+			for _, test := range folds {
+				train := trainTestSplit(tgt.Len(), test)
+				for fi, frac := range RetrainFractions {
+					// Labels: source, with the first frac of the training
+					// rows re-benchmarked on the target.
+					y := gatherInts(src.Labels, train)
+					take := int(frac * float64(len(train)))
+					for k := 0; k < take; k++ {
+						y[k] = tgt.Labels[train[k]]
+					}
+					clf := spec.Build()
+					if err := clf.Fit(gather(feats, train), y, sparse.NumKernelFormats); err != nil {
+						return nil, fmt.Errorf("eval: Table7 %s/%s: %w", row.Pair, spec.Name, err)
+					}
+					for _, i := range test {
+						truth[fi] = append(truth[fi], tgt.Labels[i])
+						pred[fi] = append(pred[fi], clf.Predict(feats[i]))
+						times[fi] = append(times[fi], tgt.Times[i])
+					}
+				}
+			}
+			for fi := range RetrainFractions {
+				m, err := supMetrics(truth[fi], pred[fi], times[fi])
+				if err != nil {
+					return nil, err
+				}
+				row.M[fi] = m
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------
+// Table 8: conversion cost and benchmarking time.
+
+// Table8 summarises the format conversion costs and the modelled
+// per-architecture benchmarking cost in hours.
+type Table8Result struct {
+	// ConversionCost[f] is the cost of converting to kernel format f in
+	// CSR-SpMV units.
+	ConversionCost map[string]float64
+	// Hours[arch] is the modelled total benchmarking time.
+	Hours map[string]float64
+}
+
+// Table8 computes the benchmark cost model over the corpus.
+func Table8(env *Env) Table8Result {
+	r := Table8Result{
+		ConversionCost: map[string]float64{},
+		Hours:          map[string]float64{},
+	}
+	for _, f := range sparse.KernelFormats() {
+		if f == sparse.FormatCSR {
+			continue
+		}
+		r.ConversionCost[f.String()] = gpusim.ConversionCost(f)
+	}
+	for _, a := range env.Archs {
+		r.Hours[a.Name] = a.BenchmarkingCost(env.Corpus.Profiles) / 3600
+	}
+	return r
+}
+
+// ---------------------------------------------------------------------
+// Table 9: training times.
+
+// Table9Row is one model's wall-clock training time at the three
+// transfer-data levels.
+type Table9Row struct {
+	Model string
+	Secs  [3]float64
+}
+
+// Table9 measures actual training wall-clock on this machine for each
+// model at dataset sizes n, 1.25n and 1.5n (the paper's 0/25/50%
+// additional transfer data). Absolute values are hardware and
+// implementation specific — the paper says the same — but the ordering
+// (CNN >> classical >> K-Means labelling) is the reproducible claim.
+func Table9(env *Env, opt Options) ([]Table9Row, error) {
+	d := env.Common[env.Archs[0].Name]
+	feats, err := scaledFeatures(d)
+	if err != nil {
+		return nil, err
+	}
+	images := env.ImagesFor(d)
+	n := d.Len()
+
+	sizes := [3]int{n, n + n/4, n + n/2}
+	// Build the enlarged sets by repeating rows deterministically.
+	makeSet := func(base [][]float64, size int) ([][]float64, []int) {
+		x := make([][]float64, size)
+		y := make([]int, size)
+		for i := 0; i < size; i++ {
+			x[i] = base[i%n]
+			y[i] = d.Labels[i%n]
+		}
+		return x, y
+	}
+
+	var rows []Table9Row
+	for _, spec := range SupervisedModels(opt.Seed) {
+		row := Table9Row{Model: spec.Name}
+		for si, size := range sizes {
+			x, y := makeSet(feats, size)
+			clf := spec.Build()
+			start := time.Now()
+			if err := clf.Fit(x, y, sparse.NumKernelFormats); err != nil {
+				return nil, fmt.Errorf("eval: Table9 %s: %w", spec.Name, err)
+			}
+			row.Secs[si] = time.Since(start).Seconds()
+		}
+		rows = append(rows, row)
+	}
+	// CNN.
+	{
+		row := Table9Row{Model: "CNN"}
+		for si, size := range sizes {
+			x, y := makeSet(images, size)
+			c := classify.NewCNN(opt.Seed)
+			c.Epochs = opt.CNNEpochs
+			start := time.Now()
+			if err := c.Fit(x, y, sparse.NumKernelFormats); err != nil {
+				return nil, fmt.Errorf("eval: Table9 CNN: %w", err)
+			}
+			row.Secs[si] = time.Since(start).Seconds()
+		}
+		rows = append(rows, row)
+	}
+	// Semi-supervised variants: the transfer-time cost is clustering once
+	// plus relabelling, so we time Train at the base size and Relabel for
+	// the increments.
+	for _, rule := range []semisup.Rule{semisup.RuleVote, semisup.RuleLR, semisup.RuleRF} {
+		row := Table9Row{Model: "K-Means-" + map[semisup.Rule]string{
+			semisup.RuleVote: "VOTE", semisup.RuleLR: "LR", semisup.RuleRF: "RF"}[rule]}
+		for si, size := range sizes {
+			x, y := makeSet(d.Feats, size)
+			cfg := semisup.Config{Algorithm: semisup.AlgoKMeans, Rule: rule,
+				NumClusters: opt.TransferNC, Seed: opt.Seed}
+			start := time.Now()
+			if _, err := semisup.Train(x, y, sparse.NumKernelFormats, cfg); err != nil {
+				return nil, fmt.Errorf("eval: Table9 %s: %w", row.Model, err)
+			}
+			row.Secs[si] = time.Since(start).Seconds()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,238 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+// diag5 builds a 5x5 diagonal matrix with an extra dense first row used
+// by several hand-computed checks below.
+func skewed(t *testing.T) *sparse.CSR {
+	t.Helper()
+	tr := sparse.NewTriplet(5, 5)
+	add := func(i, j int, v float64) {
+		t.Helper()
+		if err := tr.Add(i, j, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Row 0 has 5 entries, rows 1-4 have 1 (the diagonal).
+	for j := 0; j < 5; j++ {
+		add(0, j, 1)
+	}
+	for i := 1; i < 5; i++ {
+		add(i, i, 2)
+	}
+	return tr.ToCSR()
+}
+
+func TestExtractHandComputed(t *testing.T) {
+	m := skewed(t)
+	f := Extract(m)
+
+	if f[NRows] != 5 || f[NCols] != 5 {
+		t.Errorf("dims: %v x %v", f[NRows], f[NCols])
+	}
+	if f[NNZ] != 9 {
+		t.Errorf("nnz = %v, want 9", f[NNZ])
+	}
+	if math.Abs(f[NNZFrac]-9.0/25) > 1e-15 {
+		t.Errorf("nnz_frac = %v", f[NNZFrac])
+	}
+	if math.Abs(f[NNZMu]-1.8) > 1e-15 {
+		t.Errorf("nnz_mu = %v, want 1.8", f[NNZMu])
+	}
+	if f[NNZMin] != 1 || f[NNZMax] != 5 {
+		t.Errorf("min/max = %v/%v, want 1/5", f[NNZMin], f[NNZMax])
+	}
+	// sigma = sqrt(((5-1.8)^2 + 4*(1-1.8)^2)/5) = sqrt((10.24+2.56)/5)
+	if math.Abs(f[NNZSig]-math.Sqrt(12.8/5)) > 1e-12 {
+		t.Errorf("nnz_sig = %v", f[NNZSig])
+	}
+	if math.Abs(f[MaxMu]-3.2) > 1e-12 || math.Abs(f[MuMin]-0.8) > 1e-12 {
+		t.Errorf("max_mu/mu_min = %v/%v", f[MaxMu], f[MuMin])
+	}
+	// 5 rows all fall in one warp; the warp's longest row has 5 entries.
+	if f[CSRMax] != 5 {
+		t.Errorf("csr_max = %v, want 5", f[CSRMax])
+	}
+	// sig_lower: rows below the mean are the 4 diagonal rows, each d=-0.8.
+	if math.Abs(f[SigLower]-0.8) > 1e-12 {
+		t.Errorf("sig_lower = %v, want 0.8", f[SigLower])
+	}
+	// sig_higher: only row 0 is above, d=3.2.
+	if math.Abs(f[SigHigher]-3.2) > 1e-12 {
+		t.Errorf("sig_higher = %v, want 3.2", f[SigHigher])
+	}
+	// ELL: width 5, slab 25, frac 9/25.
+	if f[EllSize] != 25 || math.Abs(f[EllFrac]-9.0/25) > 1e-15 {
+		t.Errorf("ell_size/frac = %v/%v", f[EllSize], f[EllFrac])
+	}
+	// HYB: widths with >=1 entries: all 5 rows, >=2: 1 row (<5/3). So w=1.
+	// ELL part stores 5 entries, COO tail 4.
+	if f[HybEllSize] != 5 || f[HybCoo] != 4 || math.Abs(f[HybEllFrac]-1) > 1e-15 {
+		t.Errorf("hyb = size %v coo %v frac %v", f[HybEllSize], f[HybCoo], f[HybEllFrac])
+	}
+	// Diagonals: main diagonal plus offsets 1..4 from row 0: 5 total.
+	if f[Diagonals] != 5 {
+		t.Errorf("diagonals = %v, want 5", f[Diagonals])
+	}
+	if f[DiaSize] != 25 || math.Abs(f[DiaFrac]-9.0/25) > 1e-15 {
+		t.Errorf("dia = size %v frac %v", f[DiaSize], f[DiaFrac])
+	}
+}
+
+func TestUniformRowsDegenerateStats(t *testing.T) {
+	// Every row has exactly 3 entries: sigma and one-sided RMS are zero,
+	// ELL has no padding.
+	tr := sparse.NewTriplet(40, 40)
+	for i := 0; i < 40; i++ {
+		for d := 0; d < 3; d++ {
+			if err := tr.Add(i, (i+d*7)%40, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	f := Extract(tr.ToCSR())
+	if f[NNZSig] != 0 || f[SigLower] != 0 || f[SigHigher] != 0 {
+		t.Errorf("uniform rows: sig=%v lower=%v higher=%v, want zeros",
+			f[NNZSig], f[SigLower], f[SigHigher])
+	}
+	if f[EllFrac] != 1 {
+		t.Errorf("uniform rows: ell_frac = %v, want 1", f[EllFrac])
+	}
+	if f[CSRMax] != 3 {
+		t.Errorf("csr_max = %v, want 3", f[CSRMax])
+	}
+	if f[HybCoo] != 0 {
+		t.Errorf("hyb_coo = %v, want 0", f[HybCoo])
+	}
+}
+
+func TestEmptyRowsAllowed(t *testing.T) {
+	tr := sparse.NewTriplet(4, 4)
+	if err := tr.Add(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	f := Extract(tr.ToCSR())
+	if f[NNZMin] != 0 {
+		t.Errorf("nnz_min = %v, want 0", f[NNZMin])
+	}
+	if f[NNZ] != 1 {
+		t.Errorf("nnz = %v", f[NNZ])
+	}
+}
+
+func TestExtractAllAndMatrix(t *testing.T) {
+	m := skewed(t)
+	vs := ExtractAll([]*sparse.CSR{m, m})
+	if len(vs) != 2 || vs[0] != vs[1] {
+		t.Fatal("ExtractAll inconsistent")
+	}
+	rows := Matrix(vs)
+	if len(rows) != 2 || len(rows[0]) != Count {
+		t.Fatal("Matrix shape wrong")
+	}
+	// Slice must be a copy.
+	s := vs[0].Slice()
+	s[0] = -99
+	if vs[0][0] == -99 {
+		t.Error("Slice aliases the vector")
+	}
+}
+
+func TestNamesCount(t *testing.T) {
+	if len(Names) != Count {
+		t.Fatalf("Names has %d entries, want %d", len(Names), Count)
+	}
+	seen := map[string]bool{}
+	for _, n := range Names {
+		if seen[n] {
+			t.Errorf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+	if got := (Vector{}).String(); got == "" {
+		t.Error("String() empty")
+	}
+}
+
+// TestQuickRowPermutationInvariance property-tests that features that
+// depend only on the row-length histogram are invariant under row
+// permutations — the foundation of the paper's augmentation strategy.
+func TestQuickRowPermutationInvariance(t *testing.T) {
+	invariant := []int{NRows, NCols, NNZ, NNZFrac, NNZMu, NNZMin, NNZMax,
+		NNZSig, MaxMu, MuMin, SigLower, SigHigher, HybEllSize, HybCoo,
+		HybEllFrac, EllFrac, EllSize}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 2+rng.Intn(30), 2+rng.Intn(30)
+		tr := sparse.NewTriplet(rows, cols)
+		for n := 0; n < rows*2; n++ {
+			if tr.Add(rng.Intn(rows), rng.Intn(cols), 1) != nil {
+				return false
+			}
+		}
+		m := tr.ToCSR()
+		if m.NNZ() == 0 {
+			return true
+		}
+		p, err := m.Permute(rng.Perm(rows), nil)
+		if err != nil {
+			return false
+		}
+		fa, fb := Extract(m), Extract(p)
+		for _, idx := range invariant {
+			if math.Abs(fa[idx]-fb[idx]) > 1e-9*(1+math.Abs(fa[idx])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFeatureSanity property-tests structural inequalities that must
+// hold for any matrix: min <= mu <= max, fractions in [0,1], slab sizes
+// at least nnz.
+func TestQuickFeatureSanity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(40), 1+rng.Intn(40)
+		tr := sparse.NewTriplet(rows, cols)
+		for n := 0; n < 1+rng.Intn(rows*3); n++ {
+			if tr.Add(rng.Intn(rows), rng.Intn(cols), 1+rng.Float64()) != nil {
+				return false
+			}
+		}
+		m := tr.ToCSR()
+		v := Extract(m)
+		if !(v[NNZMin] <= v[NNZMu] && v[NNZMu] <= v[NNZMax]) {
+			return false
+		}
+		for _, idx := range []int{NNZFrac, EllFrac, DiaFrac} {
+			if v[idx] < 0 || v[idx] > 1 {
+				return false
+			}
+		}
+		if v[EllSize] < v[NNZ] || v[DiaSize] < v[NNZ] {
+			return false
+		}
+		if v[CSRMax] < v[NNZMu]/float64(32) || v[CSRMax] > v[NNZMax] {
+			return false
+		}
+		if v[HybCoo] < 0 || v[HybEllFrac] < 0 || v[HybEllFrac] > 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package gpusim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// LoadArch reads an architecture description from JSON, so downstream
+// users can model GPUs beyond the paper's three. Unset efficiency
+// constants receive neutral defaults; the hardware fields (SMs, caches,
+// memory, bandwidth, clock) are required.
+//
+// Example document:
+//
+//	{
+//	  "Name": "Ampere", "Model": "A100",
+//	  "SMs": 108, "L1PerSMKiB": 192, "L2KiB": 40960,
+//	  "MemoryGB": 40, "MemoryType": "HBM2e", "BandwidthGBs": 1555,
+//	  "ClockGHz": 1.41
+//	}
+func LoadArch(r io.Reader) (Arch, error) {
+	var a Arch
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&a); err != nil {
+		return Arch{}, fmt.Errorf("gpusim: decoding architecture: %w", err)
+	}
+	a.applyDefaults()
+	if err := a.Validate(); err != nil {
+		return Arch{}, err
+	}
+	return a, nil
+}
+
+// applyDefaults fills neutral values for unset efficiency constants.
+func (a *Arch) applyDefaults() {
+	if a.GatherPenalty == 0 {
+		a.GatherPenalty = 1.5
+	}
+	if a.COOEfficiency == 0 {
+		a.COOEfficiency = 1.2
+	}
+	if a.ELLEfficiency == 0 {
+		a.ELLEfficiency = 1.0
+	}
+	if a.HYBEfficiency == 0 {
+		a.HYBEfficiency = 1.3
+	}
+	if a.ImbalanceWeight == 0 {
+		a.ImbalanceWeight = 0.05
+	}
+	if a.HYBOverhead == 0 {
+		a.HYBOverhead = 3e-6
+	}
+	if a.MaxKernelSeconds == 0 {
+		a.MaxKernelSeconds = 20e-3
+	}
+}
+
+// Validate checks the architecture description for physical plausibility.
+func (a Arch) Validate() error {
+	switch {
+	case a.Name == "":
+		return fmt.Errorf("gpusim: architecture needs a Name")
+	case a.SMs <= 0:
+		return fmt.Errorf("gpusim: %s: SMs must be positive, got %d", a.Name, a.SMs)
+	case a.L2KiB <= 0:
+		return fmt.Errorf("gpusim: %s: L2KiB must be positive, got %d", a.Name, a.L2KiB)
+	case a.MemoryGB <= 0:
+		return fmt.Errorf("gpusim: %s: MemoryGB must be positive, got %v", a.Name, a.MemoryGB)
+	case a.BandwidthGBs <= 0:
+		return fmt.Errorf("gpusim: %s: BandwidthGBs must be positive, got %v", a.Name, a.BandwidthGBs)
+	case a.ClockGHz <= 0:
+		return fmt.Errorf("gpusim: %s: ClockGHz must be positive, got %v", a.Name, a.ClockGHz)
+	case a.GatherPenalty < 1:
+		return fmt.Errorf("gpusim: %s: GatherPenalty must be >= 1, got %v", a.Name, a.GatherPenalty)
+	case a.COOEfficiency <= 0 || a.ELLEfficiency <= 0 || a.HYBEfficiency <= 0:
+		return fmt.Errorf("gpusim: %s: kernel efficiencies must be positive", a.Name)
+	case a.ImbalanceWeight < 0 || a.ImbalanceWeight > 1:
+		return fmt.Errorf("gpusim: %s: ImbalanceWeight must be in [0, 1], got %v", a.Name, a.ImbalanceWeight)
+	case a.HYBOverhead < 0 || a.MaxKernelSeconds < 0:
+		return fmt.Errorf("gpusim: %s: overheads must be non-negative", a.Name)
+	}
+	return nil
+}
+
+// SaveArch writes an architecture description as indented JSON, the
+// inverse of LoadArch.
+func SaveArch(w io.Writer, a Arch) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a); err != nil {
+		return fmt.Errorf("gpusim: encoding architecture: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// Sizes in bytes of the data elements the kernels move.
+const (
+	bytesVal = 8 // float64 value
+	bytesIdx = 4 // int32 index
+)
+
+// launchOverhead is the fixed kernel launch latency in seconds.
+const launchOverhead = 1.5e-6
+
+// chainCycles is the dependent-load latency per nonzero for a single
+// thread walking a row serially; it is what makes one enormous row a
+// disaster for the scalar CSR kernel.
+const chainCycles = 18.0
+
+// bwEfficiency is the fraction of peak bandwidth a streaming SpMV kernel
+// sustains in practice.
+const bwEfficiency = 0.72
+
+// csrStreamFraction is the share of the gather penalty that also applies
+// to the CSR value/index streams: per-thread row walks are only partially
+// coalesced, unlike ELL's column-major slab or COO's flat arrays.
+const csrStreamFraction = 0.35
+
+// cooReductionBytes is the extra per-entry traffic of the segmented
+// reduction's carry/flag processing.
+const cooReductionBytes = 8.0
+
+// chainHideRowsPerSM scales how many average rows' worth of work the
+// resident warps hide before a long row's serial chain becomes visible:
+// short chains overlap with the rest of the matrix, only the excess
+// stalls the kernel. More SMs resident means more hiding.
+const chainHideRowsPerSM = 1.6
+
+// ErrInfeasible reports that a kernel cannot run at all on the given
+// architecture (structure exceeds device memory), the analogue of the
+// out-of-memory failures that shrink the paper's per-GPU datasets.
+var ErrInfeasible = fmt.Errorf("gpusim: kernel infeasible on this architecture")
+
+// KernelTime predicts the execution time in seconds of one SpMV in the
+// given format on the given architecture. It returns ErrInfeasible when
+// the format's storage does not fit in device memory. The prediction is
+// deterministic.
+func (a Arch) KernelTime(p Profile, f sparse.Format) (float64, error) {
+	if p.NNZ == 0 || p.Rows == 0 || p.Cols == 0 {
+		return launchOverhead, nil
+	}
+	vectors := float64(p.Rows+p.Cols) * bytesVal
+	bw := a.BandwidthGBs * 1e9 * bwEfficiency
+	xc := a.xCostBytes(p)
+	nnz := float64(p.NNZ)
+
+	switch f {
+	case sparse.FormatCSR:
+		if nnz*(bytesVal+bytesIdx)+float64(p.Rows+1)*bytesIdx+vectors > a.memoryBytes() {
+			return 0, ErrInfeasible
+		}
+		stream := 1 + csrStreamFraction*(a.GatherPenalty-1)
+		traffic := nnz*((bytesVal+bytesIdx)*stream+xc*a.GatherPenalty) +
+			float64(p.Rows)*(bytesVal+bytesIdx)
+		// Warp serialisation: the un-hidden fraction of the imbalance
+		// inflates effective time.
+		imb := 1 + a.ImbalanceWeight*(p.Imbalance()-1)
+		tMem := traffic / bw * imb
+		// The serial chain of the longest row, minus the part hidden by
+		// concurrently resident warps.
+		chainLen := float64(p.MaxRow) - chainHideRowsPerSM*float64(a.SMs)*p.MeanRow
+		if chainLen < 0 {
+			chainLen = 0
+		}
+		tChain := chainLen * chainCycles / (a.ClockGHz * 1e9)
+		return launchOverhead + math.Max(tMem, tChain), nil
+
+	case sparse.FormatCOO:
+		if nnz*(bytesVal+2*bytesIdx)+vectors > a.memoryBytes() {
+			return 0, ErrInfeasible
+		}
+		// Value + two indices per entry, plus the carry/flag traffic of
+		// the segmented reduction, plus the x gather.
+		traffic := nnz*((bytesVal+2*bytesIdx)+xc+cooReductionBytes) +
+			float64(p.Rows)*bytesVal
+		tMem := traffic / bw * a.COOEfficiency
+		// Block-local reduction plus (on most architectures) a separate
+		// carry fix-up launch.
+		return float64(a.cooLaunches())*launchOverhead + tMem, nil
+
+	case sparse.FormatELL:
+		slabBytes := float64(p.EllSlab) * (bytesVal + bytesIdx)
+		if slabBytes+vectors > a.memoryBytes() {
+			return 0, ErrInfeasible
+		}
+		// The whole slab is streamed (padding included) but the x gather
+		// happens only for true nonzeros; the column-major walk is
+		// perfectly coalesced.
+		traffic := slabBytes*a.ELLEfficiency + nnz*xc + float64(p.Rows)*bytesVal
+		tMem := traffic / bw
+		// Each thread walks MaxRow slots, fully overlapped across rows:
+		// only a fraction of the chain is exposed.
+		tChain := 0.25 * float64(p.MaxRow) * chainCycles / (a.ClockGHz * 1e9)
+		return launchOverhead + math.Max(tMem, tChain), nil
+
+	case sparse.FormatSELL:
+		// Sliced ELLPACK (extension format): coalesced like ELL but the
+		// padding is bounded per slice, at the cost of slice-descriptor
+		// lookups. Modelled like ELL over the smaller SELL slab with a
+		// small per-slice overhead.
+		slabBytes := float64(p.SellSlab) * (bytesVal + bytesIdx)
+		slices := float64((p.Rows + warpSize - 1) / warpSize)
+		if slabBytes+vectors > a.memoryBytes() {
+			return 0, ErrInfeasible
+		}
+		traffic := slabBytes*a.ELLEfficiency + nnz*xc +
+			float64(p.Rows)*bytesVal + slices*2*bytesIdx
+		tMem := traffic / bw * 1.02 // slice indirection
+		chainLen := float64(p.MaxRow) - chainHideRowsPerSM*float64(a.SMs)*p.MeanRow
+		if chainLen < 0 {
+			chainLen = 0
+		}
+		tChain := 0.25 * chainLen * chainCycles / (a.ClockGHz * 1e9)
+		return launchOverhead + math.Max(tMem, tChain), nil
+
+	case sparse.FormatHYB:
+		slabBytes := float64(p.HybSlab) * (bytesVal + bytesIdx)
+		cooBytes := float64(p.HybCooNNZ) * (bytesVal + 2*bytesIdx)
+		if slabBytes+cooBytes+vectors > a.memoryBytes() {
+			return 0, ErrInfeasible
+		}
+		// The split kernel runs at lower occupancy than pure ELL
+		// (HYBEfficiency) and its tail pays the COO reduction costs.
+		ellTraffic := (slabBytes*a.ELLEfficiency + float64(p.HybEllNNZ)*xc +
+			float64(p.Rows)*bytesVal) * a.HYBEfficiency
+		cooTraffic := (float64(p.HybCooNNZ)*((bytesVal+2*bytesIdx)+xc+cooReductionBytes) +
+			0.25*float64(p.Rows)*bytesVal) * a.COOEfficiency
+		tMem := (ellTraffic + cooTraffic) / bw
+		tChain := 0.25 * float64(p.HybWidth) * chainCycles / (a.ClockGHz * 1e9)
+		return 2*launchOverhead + a.HYBOverhead + math.Max(tMem, tChain), nil
+
+	default:
+		return 0, fmt.Errorf("gpusim: no kernel model for format %v", f)
+	}
+}
+
+// xCostBytes returns the effective bytes charged per x-vector gather.
+// When the vector fits the L2 with room for reuse and the matrix has
+// good column locality, most gathers hit cache (2 bytes effective);
+// scattered access to a large vector pays the full miss (8 bytes).
+func (a Arch) xCostBytes(p Profile) float64 {
+	vecBytes := float64(p.Cols) * bytesVal
+	l2 := float64(a.L2KiB) * 1024
+	pressure := vecBytes / l2
+	if pressure > 1 {
+		pressure = 1
+	}
+	miss := pressure * (0.15 + 0.85*p.Scatter)
+	return 2 + 6*miss
+}

@@ -1,0 +1,78 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// Overhead-conscious format selection, after Zhao et al. (IPDPS 2018 /
+// IEEE TPDS 2020), which the paper's related-work section singles out:
+// converting a matrix out of CSR costs many SpMV-equivalents (Table 8),
+// so the best format depends on how many multiplications will amortise
+// the conversion. These helpers extend the qualitative selector with
+// that quantitative decision.
+
+// AmortizedTime returns the modelled total cost in seconds of running
+// `iterations` SpMV operations in the given format, including the
+// one-time conversion from CSR priced by ConversionCost.
+func (a Arch) AmortizedTime(p Profile, f sparse.Format, iterations int) (float64, error) {
+	if iterations <= 0 {
+		return 0, fmt.Errorf("gpusim: AmortizedTime with %d iterations", iterations)
+	}
+	t, err := a.KernelTime(p, f)
+	if err != nil {
+		return 0, err
+	}
+	csrT, err := a.KernelTime(p, sparse.FormatCSR)
+	if err != nil {
+		return 0, err
+	}
+	return ConversionCost(f)*csrT + float64(iterations)*t, nil
+}
+
+// AmortizedSelect returns the format with the lowest total cost for the
+// given SpMV iteration count. For small counts it returns CSR (no
+// conversion to pay); as the count grows the asymptotically fastest
+// feasible format takes over.
+func (a Arch) AmortizedSelect(p Profile, iterations int) (sparse.Format, error) {
+	best := sparse.FormatCSR
+	bestT := math.Inf(1)
+	for _, f := range sparse.KernelFormats() {
+		t, err := a.AmortizedTime(p, f, iterations)
+		if err != nil {
+			continue // infeasible format
+		}
+		if t < bestT {
+			bestT = t
+			best = f
+		}
+	}
+	if math.IsInf(bestT, 1) {
+		return sparse.FormatCSR, fmt.Errorf("gpusim: no feasible format")
+	}
+	return best, nil
+}
+
+// BreakEvenIterations returns the smallest SpMV count at which
+// converting to the format beats staying in CSR, and false when the
+// format never wins (it is infeasible or not faster per iteration).
+func (a Arch) BreakEvenIterations(p Profile, to sparse.Format) (int, bool) {
+	if to == sparse.FormatCSR {
+		return 0, true
+	}
+	t, err := a.KernelTime(p, to)
+	if err != nil {
+		return 0, false
+	}
+	csrT, err := a.KernelTime(p, sparse.FormatCSR)
+	if err != nil {
+		return 0, false
+	}
+	perIter := csrT - t
+	if perIter <= 0 {
+		return 0, false
+	}
+	return int(math.Ceil(ConversionCost(to) * csrT / perIter)), true
+}

@@ -1,0 +1,120 @@
+package gpusim
+
+import (
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// Profile summarises the structural properties of a sparse matrix that
+// the kernel time model depends on. Profiles are architecture-invariant
+// and computed once per matrix in O(nnz).
+type Profile struct {
+	// Rows, Cols, NNZ are the basic dimensions.
+	Rows, Cols, NNZ int
+	// MaxRow and MeanRow describe the row-length distribution.
+	MaxRow  int
+	MeanRow float64
+	// WarpSerialNNZ is the total scalar-CSR work after warp
+	// serialisation: the sum over aligned 32-row warps of
+	// 32 * (longest row in the warp). WarpSerialNNZ/NNZ >= 1 measures the
+	// load imbalance of the one-thread-per-row kernel.
+	WarpSerialNNZ float64
+	// EllSlab is rows*MaxRow, the ELL structure size in entries.
+	EllSlab int
+	// HybWidth is the ELL width CUSP's HYB heuristic picks, and
+	// HybEllNNZ/HybCooNNZ split the nonzeros between the two parts.
+	// HybSlab is rows*HybWidth.
+	HybWidth  int
+	HybEllNNZ int
+	HybCooNNZ int
+	HybSlab   int
+	// SellSlab is the total padded entry count of the SELL format at
+	// the default slice height, used by the five-format extension
+	// experiment; always between NNZ and EllSlab.
+	SellSlab int
+	// Scatter in [0,1] measures column locality: the mean per-row column
+	// span divided by the column count. Near-diagonal matrices have
+	// Scatter close to 0 and reuse the x vector from cache; uniformly
+	// random matrices approach 1.
+	Scatter float64
+}
+
+const warpSize = 32
+
+// NewProfile computes the profile of a CSR matrix.
+func NewProfile(m *sparse.CSR) Profile {
+	rows, cols := m.Dims()
+	p := Profile{Rows: rows, Cols: cols, NNZ: m.NNZ()}
+
+	rowPtr, colIdx := m.RowPtr(), m.ColIdx()
+	spanSum := 0.0
+	spanRows := 0
+	maxRow := 0
+	for i := 0; i < rows; i++ {
+		n := int(rowPtr[i+1] - rowPtr[i])
+		if n > maxRow {
+			maxRow = n
+		}
+		if n > 0 {
+			lo := colIdx[rowPtr[i]]
+			hi := colIdx[rowPtr[i+1]-1]
+			spanSum += float64(hi-lo) + 1
+			spanRows++
+		}
+	}
+	p.MaxRow = maxRow
+	p.MeanRow = float64(p.NNZ) / float64(rows)
+	if spanRows > 0 && cols > 0 {
+		p.Scatter = spanSum / float64(spanRows) / float64(cols)
+		if p.Scatter > 1 {
+			p.Scatter = 1
+		}
+	}
+
+	for base := 0; base < rows; base += warpSize {
+		w := 0
+		lim := base + warpSize
+		if lim > rows {
+			lim = rows
+		}
+		for i := base; i < lim; i++ {
+			if n := int(rowPtr[i+1] - rowPtr[i]); n > w {
+				w = n
+			}
+		}
+		p.WarpSerialNNZ += float64(w * (lim - base))
+		// The default SELL slice height equals the warp size, so the
+		// per-warp maxima double as per-slice widths.
+		p.SellSlab += w * (lim - base)
+	}
+
+	p.EllSlab = rows * maxRow
+
+	hist := make([]int, maxRow+1)
+	for i := 0; i < rows; i++ {
+		hist[int(rowPtr[i+1]-rowPtr[i])]++
+	}
+	p.HybWidth = sparse.HybWidthFromHistogram(hist, rows)
+	for i := 0; i < rows; i++ {
+		n := int(rowPtr[i+1] - rowPtr[i])
+		if n < p.HybWidth {
+			p.HybEllNNZ += n
+		} else {
+			p.HybEllNNZ += p.HybWidth
+		}
+	}
+	p.HybCooNNZ = p.NNZ - p.HybEllNNZ
+	p.HybSlab = rows * p.HybWidth
+	return p
+}
+
+// Imbalance returns WarpSerialNNZ/NNZ, the CSR warp-serialisation factor
+// (>= 1; 1 means perfectly uniform rows).
+func (p Profile) Imbalance() float64 {
+	if p.NNZ == 0 {
+		return 1
+	}
+	f := p.WarpSerialNNZ / float64(p.NNZ)
+	return math.Max(1, f)
+}

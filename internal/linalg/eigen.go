@@ -1,0 +1,106 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SymEigen computes the eigendecomposition of a symmetric matrix with the
+// cyclic Jacobi method. It returns the eigenvalues in descending order
+// and the corresponding unit eigenvectors as the columns of V. The input
+// must be square and symmetric to within a small tolerance.
+//
+// Jacobi is quadratically convergent and unconditionally stable for
+// symmetric matrices; the feature covariance matrices it is used on here
+// are at most ~21x21, so its O(n^3) sweeps are negligible.
+func SymEigen(a *Dense) (values []float64, vectors *Dense, err error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, nil, fmt.Errorf("linalg: SymEigen on %dx%d non-square matrix", a.Rows, a.Cols)
+	}
+	const symTol = 1e-8
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			scale := math.Max(1, math.Max(math.Abs(a.At(i, j)), math.Abs(a.At(j, i))))
+			if math.Abs(a.At(i, j)-a.At(j, i)) > symTol*scale {
+				return nil, nil, fmt.Errorf("linalg: SymEigen on asymmetric matrix: a[%d,%d]=%g, a[%d,%d]=%g",
+					i, j, a.At(i, j), j, i, a.At(j, i))
+			}
+		}
+	}
+
+	w := a.Clone()
+	v := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-22*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(w, v, p, q, c, s)
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := range values {
+		values[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return values[idx[x]] > values[idx[y]] })
+	sortedVals := make([]float64, n)
+	vectors = NewDense(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = values[oldCol]
+		for r := 0; r < n; r++ {
+			vectors.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, vectors, nil
+}
+
+// rotate applies the Jacobi rotation J(p,q,c,s) as w = J' w J and
+// accumulates v = v J.
+func rotate(w, v *Dense, p, q int, c, s float64) {
+	n := w.Rows
+	for i := 0; i < n; i++ {
+		wip, wiq := w.At(i, p), w.At(i, q)
+		w.Set(i, p, c*wip-s*wiq)
+		w.Set(i, q, s*wip+c*wiq)
+	}
+	for i := 0; i < n; i++ {
+		wpi, wqi := w.At(p, i), w.At(q, i)
+		w.Set(p, i, c*wpi-s*wqi)
+		w.Set(q, i, s*wpi+c*wqi)
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}

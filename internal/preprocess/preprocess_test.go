@@ -1,0 +1,247 @@
+package preprocess
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+func TestFitSkewModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]float64, 400)
+	for i := range rows {
+		rows[i] = []float64{
+			rng.NormFloat64(),               // symmetric: identity
+			math.Pow(rng.Float64(), -0.6),   // heavy tail: log
+			math.Abs(rng.NormFloat64()) * 2, // mild skew
+		}
+	}
+	sk, err := FitSkew(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.Mode[0] != 0 {
+		t.Errorf("symmetric feature got mode %d, want 0", sk.Mode[0])
+	}
+	if sk.Mode[1] != 2 {
+		t.Errorf("power-law feature got mode %d, want 2 (log)", sk.Mode[1])
+	}
+}
+
+func TestSkewTransformValues(t *testing.T) {
+	sk := &SkewTransform{Mode: []int{0, 1, 2}}
+	y := sk.Transform([]float64{3, 16, math.E - 1})
+	if y[0] != 3 {
+		t.Errorf("identity: %v", y[0])
+	}
+	if y[1] != 4 {
+		t.Errorf("sqrt: %v", y[1])
+	}
+	if math.Abs(y[2]-1) > 1e-12 {
+		t.Errorf("log1p: %v", y[2])
+	}
+	// Sign preservation for the difference features.
+	y2 := sk.Transform([]float64{-3, -16, -(math.E - 1)})
+	if y2[1] != -4 || math.Abs(y2[2]+1) > 1e-12 {
+		t.Errorf("negative values lose sign: %v", y2)
+	}
+	if sk.OutDim() != 3 {
+		t.Error("OutDim wrong")
+	}
+}
+
+func TestMinMaxScaler(t *testing.T) {
+	rows := [][]float64{{0, 10, 5}, {10, 20, 5}, {5, 15, 5}}
+	mm, err := FitMinMax(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := mm.Transform([]float64{5, 10, 5})
+	if y[0] != 0.5 || y[1] != 0 {
+		t.Errorf("scaling wrong: %v", y)
+	}
+	// Constant feature maps to 0.
+	if y[2] != 0 {
+		t.Errorf("constant feature should map to 0, got %v", y[2])
+	}
+	// Out-of-range values clamp.
+	y = mm.Transform([]float64{-100, 100, 0})
+	if y[0] != 0 || y[1] != 1 {
+		t.Errorf("clamping wrong: %v", y)
+	}
+}
+
+func TestFitEmptyErrors(t *testing.T) {
+	if _, err := FitSkew(nil); err == nil {
+		t.Error("FitSkew(nil) accepted")
+	}
+	if _, err := FitMinMax(nil); err == nil {
+		t.Error("FitMinMax(nil) accepted")
+	}
+	if _, err := FitPCA(nil, 2); err == nil {
+		t.Error("FitPCA(nil) accepted")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}}, 0); err == nil {
+		t.Error("FitPCA(k=0) accepted")
+	}
+}
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	// Points spread along (1, 1)/sqrt(2) with small noise: the first
+	// component must align with it and capture most variance.
+	rng := rand.New(rand.NewSource(2))
+	rows := make([][]float64, 500)
+	for i := range rows {
+		s := rng.NormFloat64() * 10
+		rows[i] = []float64{s + rng.NormFloat64()*0.1, s + rng.NormFloat64()*0.1}
+	}
+	p, err := FitPCA(rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := []float64{p.Components.At(0, 0), p.Components.At(0, 1)}
+	if math.Abs(math.Abs(c0[0])-math.Sqrt(0.5)) > 0.02 ||
+		math.Abs(math.Abs(c0[1])-math.Sqrt(0.5)) > 0.02 {
+		t.Errorf("first component %v not aligned with (1,1)", c0)
+	}
+	if p.ExplainedVariance[0] < 50*p.ExplainedVariance[1] {
+		t.Errorf("variance not concentrated: %v", p.ExplainedVariance)
+	}
+}
+
+func TestPCACapsComponents(t *testing.T) {
+	rows := [][]float64{{1, 2}, {3, 4}, {5, 7}}
+	p, err := FitPCA(rows, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.OutDim() != 2 {
+		t.Errorf("OutDim = %d, want capped 2", p.OutDim())
+	}
+}
+
+func TestPipelineShapesAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][]float64, 300)
+	for i := range rows {
+		r := make([]float64, 21)
+		for j := range r {
+			r[j] = math.Pow(rng.Float64(), -0.4) * float64(j+1)
+		}
+		rows[i] = r
+	}
+	chain, err := FitPipeline(rows, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain.OutDim() != PaperComponents {
+		t.Fatalf("pipeline OutDim = %d, want %d", chain.OutDim(), PaperComponents)
+	}
+	y := chain.Transform(rows[0])
+	if len(y) != PaperComponents {
+		t.Fatalf("transformed length %d", len(y))
+	}
+	// Without PCA the output is min-max scaled: all in [0, 1].
+	chain2, err := FitPipeline(rows, Options{SkipPCA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		for _, v := range chain2.Transform(r) {
+			if v < 0 || v > 1 {
+				t.Fatalf("scaled value %v outside [0,1]", v)
+			}
+		}
+	}
+	// Empty chain degenerates gracefully.
+	if (Chain{}).OutDim() != 0 {
+		t.Error("empty chain OutDim != 0")
+	}
+}
+
+func TestPipelineSkipSkew(t *testing.T) {
+	rows := [][]float64{{1, 10}, {2, 100}, {3, 1000}, {4, 10000}}
+	with, err := FitPipeline(rows, Options{SkipPCA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := FitPipeline(rows, Options{SkipSkew: true, SkipPCA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The log transform must change the scaled value of mid-range points
+	// on the heavy-tailed second feature.
+	a := with.Transform([]float64{2, 100})[1]
+	b := without.Transform([]float64{2, 100})[1]
+	if math.Abs(a-b) < 1e-6 {
+		t.Error("skew stage has no effect")
+	}
+}
+
+// TestQuickPipelineDeterministicAndFinite property-tests that fitted
+// pipelines transform arbitrary in-range inputs to finite values,
+// deterministically.
+func TestQuickPipelineDeterministicAndFinite(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, d := 20+rng.Intn(60), 3+rng.Intn(10)
+		rows := make([][]float64, n)
+		for i := range rows {
+			r := make([]float64, d)
+			for j := range r {
+				r[j] = rng.ExpFloat64() * math.Pow(10, float64(j%4))
+			}
+			rows[i] = r
+		}
+		chain, err := FitPipeline(rows, Options{Components: 3})
+		if err != nil {
+			return false
+		}
+		for _, r := range rows {
+			y1 := chain.Transform(r)
+			y2 := chain.Transform(r)
+			for k := range y1 {
+				if y1[k] != y2[k] || math.IsNaN(y1[k]) || math.IsInf(y1[k], 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPCAOrthonormalComponents checks the projection rows are
+// orthonormal, which SymEigen guarantees.
+func TestPCAOrthonormalComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rows := make([][]float64, 200)
+	for i := range rows {
+		r := make([]float64, 6)
+		for j := range r {
+			r[j] = rng.NormFloat64() * float64(j+1)
+		}
+		rows[i] = r
+	}
+	p, err := FitPCA(rows, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := i; j < 4; j++ {
+			dot := linalg.Dot(p.Components.Row(i), p.Components.Row(j))
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if math.Abs(dot-want) > 1e-8 {
+				t.Errorf("components %d,%d dot = %v, want %v", i, j, dot, want)
+			}
+		}
+	}
+}

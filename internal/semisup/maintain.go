@@ -1,0 +1,150 @@
+package semisup
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/preprocess"
+)
+
+// Cluster maintenance: the paper argues that a clustering-based model is
+// cheap to keep current because "it is more efficient to merge and split
+// clusters or change their optimal format when new sparse matrices are
+// added to the dataset, especially compared to retraining large DL
+// models". These methods implement exactly those operations on a fitted
+// (or loaded) model without touching the rest of the clustering.
+
+// freeze replaces the model's clusterer with a mutable centroid list,
+// preserving assignment behaviour; maintenance operations edit it in
+// place.
+func (m *Model) freeze() *cluster.Frozen {
+	if f, ok := m.clust.(*cluster.Frozen); ok {
+		return f
+	}
+	f := cluster.NewFrozen(m.clust)
+	m.clust = f
+	return f
+}
+
+// SetClusterLabel overrides one cluster's format label — the cheapest
+// maintenance action: new benchmarks showed the cluster prefers a
+// different format.
+func (m *Model) SetClusterLabel(c, label int) error {
+	if c < 0 || c >= m.clust.NumClusters() {
+		return fmt.Errorf("semisup: cluster %d out of range", c)
+	}
+	if label < 0 || label >= m.classes {
+		return fmt.Errorf("semisup: label %d outside [0, %d)", label, m.classes)
+	}
+	m.labels[c] = label
+	return nil
+}
+
+// MergeClusters merges cluster b into cluster a: the centroid becomes
+// the membership-weighted mean, the label stays a's when the sizes tie
+// and otherwise follows the larger cluster. Cluster b's slot is filled
+// by the last cluster, whose index therefore changes to b; the method
+// returns nothing else, so callers holding cluster ids should re-derive
+// them with ClusterOf.
+func (m *Model) MergeClusters(a, b int) error {
+	k := m.clust.NumClusters()
+	if a < 0 || a >= k || b < 0 || b >= k || a == b {
+		return fmt.Errorf("semisup: cannot merge clusters %d and %d of %d", a, b, k)
+	}
+	f := m.freeze()
+	wa, wb := float64(m.memberCount[a]), float64(m.memberCount[b])
+	if wa+wb == 0 {
+		wa, wb = 1, 1
+	}
+	ca, cb := f.Centroids[a], f.Centroids[b]
+	merged := make([]float64, len(ca))
+	for j := range merged {
+		merged[j] = (wa*ca[j] + wb*cb[j]) / (wa + wb)
+	}
+	f.Centroids[a] = merged
+	if m.memberCount[b] > m.memberCount[a] {
+		m.labels[a] = m.labels[b]
+	}
+	m.memberCount[a] += m.memberCount[b]
+
+	// Remove slot b by moving the last cluster into it.
+	last := k - 1
+	f.Centroids[b] = f.Centroids[last]
+	m.labels[b] = m.labels[last]
+	m.memberCount[b] = m.memberCount[last]
+	f.Centroids = f.Centroids[:last]
+	m.labels = m.labels[:last]
+	m.memberCount = m.memberCount[:last]
+	return nil
+}
+
+// SplitCluster splits cluster c in two using a labelled sample of raw
+// feature vectors: the sample members falling into c are 2-means
+// re-clustered, c's centroid is replaced by one half and a new cluster
+// is appended for the other, and both halves are re-voted from the
+// sample labels (keeping c's old label where a half has no labelled
+// members). It returns the new cluster's index.
+//
+// This is the impure-cluster repair the paper's example motivates: a
+// cluster whose members split 80/20 between two formats caps accuracy at
+// its purity; splitting it lifts the cap.
+func (m *Model) SplitCluster(c int, x [][]float64, y []int) (int, error) {
+	k := m.clust.NumClusters()
+	if c < 0 || c >= k {
+		return 0, fmt.Errorf("semisup: cluster %d out of range", c)
+	}
+	if len(x) == 0 || len(x) != len(y) {
+		return 0, fmt.Errorf("semisup: bad split sample: %d rows, %d labels", len(x), len(y))
+	}
+	tx := preprocess.Apply(m.pipeline, x)
+	var members [][]float64
+	var memberY []int
+	for i, p := range tx {
+		if m.clust.Assign(p) == c {
+			if y[i] < 0 || y[i] >= m.classes {
+				return 0, fmt.Errorf("semisup: split label %d outside [0, %d)", y[i], m.classes)
+			}
+			members = append(members, p)
+			memberY = append(memberY, y[i])
+		}
+	}
+	if len(members) < 2 {
+		return 0, fmt.Errorf("semisup: cluster %d has %d sampled members; need >= 2 to split", c, len(members))
+	}
+	km := cluster.NewKMeans(2, m.cfg.Seed+int64(c))
+	if err := km.Fit(members); err != nil {
+		return 0, fmt.Errorf("semisup: splitting cluster %d: %w", c, err)
+	}
+	if km.NumClusters() < 2 {
+		return 0, fmt.Errorf("semisup: cluster %d members are identical; nothing to split", c)
+	}
+
+	f := m.freeze()
+	oldLabel := m.labels[c]
+	oldCount := m.memberCount[c]
+
+	// Vote each half from the sample.
+	votes := [2][]int{make([]int, m.classes), make([]int, m.classes)}
+	halves := [2]int{}
+	for i, p := range members {
+		h := km.Assign(p)
+		votes[h][memberY[i]]++
+		halves[h]++
+	}
+	label := func(h int) int {
+		if sum(votes[h]) == 0 {
+			return oldLabel
+		}
+		return argmax(votes[h])
+	}
+
+	f.Centroids[c] = append([]float64(nil), km.Centroid(0)...)
+	m.labels[c] = label(0)
+	f.Centroids = append(f.Centroids, append([]float64(nil), km.Centroid(1)...))
+	m.labels = append(m.labels, label(1))
+	// Apportion the recorded membership by the sample proportions.
+	c0 := oldCount * halves[0] / (halves[0] + halves[1])
+	m.memberCount[c] = c0
+	m.memberCount = append(m.memberCount, oldCount-c0)
+	return len(f.Centroids) - 1, nil
+}

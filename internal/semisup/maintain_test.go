@@ -1,0 +1,168 @@
+package semisup
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/preprocess"
+)
+
+// bimodalCluster builds data where one K-Means cluster is forced to hold
+// two sub-populations with different labels: two tight blobs close
+// together (relative to the other blobs) labelled differently.
+func bimodalTask(rng *rand.Rand) (x [][]float64, y []int) {
+	add := func(cx, cy float64, n, label int) {
+		for i := 0; i < n; i++ {
+			x = append(x, []float64{cx + rng.NormFloat64()*0.2, cy + rng.NormFloat64()*0.2})
+			y = append(y, label)
+		}
+	}
+	add(0, 0, 80, 0)  // far blob, class 0
+	add(50, 0, 60, 1) // the bimodal pair: two nearby sub-blobs...
+	add(53, 3, 40, 2) // ...with different optimal formats
+	return x, y
+}
+
+func TestSetClusterLabel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := clusteredTask(rng, 200, 4, 4)
+	m, err := Train(x, y, 4, Config{NumClusters: 4, Seed: 1,
+		Preprocess: preprocess.Options{SkipPCA: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.ClusterOf(x[0])
+	want := (m.ClusterLabel(c) + 1) % 4
+	if err := m.SetClusterLabel(c, want); err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict(x[0]) != want {
+		t.Error("label override did not take effect")
+	}
+	if err := m.SetClusterLabel(-1, 0); err == nil {
+		t.Error("negative cluster accepted")
+	}
+	if err := m.SetClusterLabel(c, 9); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}
+
+func TestMergeClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := clusteredTask(rng, 300, 6, 3)
+	m, err := Train(x, y, 3, Config{NumClusters: 12, Seed: 2,
+		Preprocess: preprocess.Options{SkipPCA: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.NumClusters()
+	// Merge the clusters of two specific points.
+	a := m.ClusterOf(x[0])
+	b := (a + 1) % before
+	sizeA, sizeB := m.ClusterSize(a), m.ClusterSize(b)
+	if err := m.MergeClusters(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumClusters() != before-1 {
+		t.Fatalf("clusters %d, want %d", m.NumClusters(), before-1)
+	}
+	if m.ClusterSize(a) != sizeA+sizeB {
+		t.Errorf("merged size %d, want %d", m.ClusterSize(a), sizeA+sizeB)
+	}
+	// Model still predicts in range everywhere.
+	for i := range x {
+		if p := m.Predict(x[i]); p < 0 || p >= 3 {
+			t.Fatalf("prediction %d out of range after merge", p)
+		}
+	}
+	if err := m.MergeClusters(0, 0); err == nil {
+		t.Error("self-merge accepted")
+	}
+	if err := m.MergeClusters(0, 99); err == nil {
+		t.Error("out-of-range merge accepted")
+	}
+}
+
+func TestSplitClusterImprovesImpureCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := bimodalTask(rng)
+	// K=2: the two nearby sub-blobs land in one impure cluster.
+	m, err := Train(x, y, 3, Config{NumClusters: 2, Seed: 3,
+		Preprocess: preprocess.Options{SkipPCA: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	impure := m.ClusterOf(x[100]) // a point from the bimodal pair
+	purity, _, err := m.Purity(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if purity[impure] > 0.95 {
+		t.Skipf("cluster unexpectedly pure (%.2f); geometry changed", purity[impure])
+	}
+	accBefore := accuracy(m.PredictAll(x), y)
+
+	newC, err := m.SplitCluster(impure, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newC != m.NumClusters()-1 {
+		t.Errorf("new cluster id %d, want %d", newC, m.NumClusters()-1)
+	}
+	accAfter := accuracy(m.PredictAll(x), y)
+	if accAfter <= accBefore {
+		t.Errorf("split did not improve accuracy: %.3f -> %.3f", accBefore, accAfter)
+	}
+	// The two halves should now carry the two sub-population labels.
+	l1 := m.ClusterLabel(impure)
+	l2 := m.ClusterLabel(newC)
+	if l1 == l2 {
+		t.Errorf("split halves share label %d; expected the sub-populations to separate", l1)
+	}
+}
+
+func TestSplitClusterValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := clusteredTask(rng, 100, 4, 2)
+	m, err := Train(x, y, 2, Config{NumClusters: 4, Seed: 4,
+		Preprocess: preprocess.Options{SkipPCA: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SplitCluster(-1, x, y); err == nil {
+		t.Error("negative cluster accepted")
+	}
+	if _, err := m.SplitCluster(0, nil, nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := m.SplitCluster(0, x[:2], []int{0, 9}); err == nil {
+		t.Error("out-of-range split label accepted")
+	}
+}
+
+func TestMaintenanceWorksOnLoadedModel(t *testing.T) {
+	// The maintenance operations must work after Save/Load (the frozen
+	// clusterer path).
+	rng := rand.New(rand.NewSource(5))
+	x, y := clusteredTask(rng, 200, 4, 2)
+	m, err := Train(x, y, 2, Config{NumClusters: 6, Seed: 5,
+		Preprocess: preprocess.Options{SkipPCA: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.MergeClusters(0, 1); err != nil {
+		t.Fatalf("merge on loaded model: %v", err)
+	}
+	if loaded.NumClusters() != 5 {
+		t.Errorf("clusters %d after merge", loaded.NumClusters())
+	}
+}

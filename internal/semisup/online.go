@@ -1,0 +1,157 @@
+package semisup
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/preprocess"
+)
+
+// Online is the incremental counterpart of Model, implementing the
+// paper's stated future work: "an online classification system ... able
+// to learn from SpMV operations while they are being performed".
+//
+// It maintains sequential (MacQueen-style) K-Means centroids in a fixed
+// preprocessed feature space together with per-cluster label histograms:
+//
+//   - Observe(x) assigns a matrix to its nearest centroid, nudges the
+//     centroid toward it, and — when the matrix is farther than the
+//     spawn radius from every centroid and capacity remains — opens a
+//     new cluster for the new sparsity pattern;
+//   - Record(x, label) additionally files the observed best format (for
+//     example, measured opportunistically during a real SpMV run);
+//   - Predict(x) returns the majority format of the nearest cluster,
+//     falling back to the globally most-seen format for unlabelled
+//     clusters.
+//
+// The preprocessing chain is fitted once on a seed sample; the paper
+// notes that the statistical features are architecture-invariant and so
+// is the feature space, which is what makes freezing it sound.
+type Online struct {
+	pipeline preprocess.Chain
+	classes  int
+	// SpawnRadius is the squared distance beyond which a new cluster is
+	// opened rather than stretching an existing one.
+	spawnRadius float64
+	maxClusters int
+
+	centroids [][]float64
+	counts    []int   // observations per cluster
+	hist      [][]int // label histogram per cluster
+	global    []int   // global label histogram
+	seen      int
+}
+
+// OnlineConfig configures NewOnline.
+type OnlineConfig struct {
+	// MaxClusters caps the cluster count (default 256).
+	MaxClusters int
+	// SpawnRadius is the Euclidean distance beyond which a new cluster
+	// is spawned (default 0.15, calibrated to min-max/PCA feature
+	// scales).
+	SpawnRadius float64
+	// Preprocess configures the frozen feature pipeline.
+	Preprocess preprocess.Options
+}
+
+// NewOnline fits the frozen preprocessing on the seed sample and seeds
+// the model with one cluster per distinct seed label.
+func NewOnline(seed [][]float64, classes int, cfg OnlineConfig) (*Online, error) {
+	if len(seed) == 0 {
+		return nil, fmt.Errorf("semisup: online model needs a non-empty seed sample")
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("semisup: need >= 2 classes, got %d", classes)
+	}
+	if cfg.MaxClusters <= 0 {
+		cfg.MaxClusters = 256
+	}
+	if cfg.SpawnRadius <= 0 {
+		cfg.SpawnRadius = 0.15
+	}
+	pipeline, err := preprocess.FitPipeline(seed, cfg.Preprocess)
+	if err != nil {
+		return nil, fmt.Errorf("semisup: fitting online preprocessing: %w", err)
+	}
+	return &Online{
+		pipeline:    pipeline,
+		classes:     classes,
+		spawnRadius: cfg.SpawnRadius * cfg.SpawnRadius,
+		maxClusters: cfg.MaxClusters,
+		global:      make([]int, classes),
+	}, nil
+}
+
+// nearest returns the closest centroid and squared distance (-1 when no
+// clusters exist yet).
+func (o *Online) nearest(p []float64) (int, float64) {
+	best, bestD := -1, 0.0
+	for c, cen := range o.centroids {
+		d := linalg.SqDist(cen, p)
+		if best < 0 || d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}
+
+// Observe folds one unlabelled matrix into the clustering and returns
+// its cluster index.
+func (o *Online) Observe(x []float64) int {
+	p := o.pipeline.Transform(x)
+	o.seen++
+	c, d := o.nearest(p)
+	if c < 0 || (d > o.spawnRadius && len(o.centroids) < o.maxClusters) {
+		o.centroids = append(o.centroids, append([]float64(nil), p...))
+		o.counts = append(o.counts, 1)
+		o.hist = append(o.hist, make([]int, o.classes))
+		return len(o.centroids) - 1
+	}
+	// MacQueen update: the centroid is the running mean of its members.
+	o.counts[c]++
+	eta := 1 / float64(o.counts[c])
+	for j := range o.centroids[c] {
+		o.centroids[c][j] += eta * (p[j] - o.centroids[c][j])
+	}
+	return c
+}
+
+// Record folds one labelled observation (a matrix whose best format was
+// measured) into the model and returns its cluster.
+func (o *Online) Record(x []float64, label int) (int, error) {
+	if label < 0 || label >= o.classes {
+		return 0, fmt.Errorf("semisup: online label %d outside [0, %d)", label, o.classes)
+	}
+	c := o.Observe(x)
+	o.hist[c][label]++
+	o.global[label]++
+	return c, nil
+}
+
+// Predict returns the majority format of the nearest cluster, falling
+// back to the global majority when the cluster has no labels yet, and 0
+// before any label has been recorded.
+func (o *Online) Predict(x []float64) int {
+	if len(o.centroids) == 0 {
+		return argmax(o.global)
+	}
+	c, _ := o.nearest(o.pipeline.Transform(x))
+	if sum(o.hist[c]) > 0 {
+		return argmax(o.hist[c])
+	}
+	return argmax(o.global)
+}
+
+// NumClusters returns the current cluster count.
+func (o *Online) NumClusters() int { return len(o.centroids) }
+
+// Seen returns how many matrices have been observed.
+func (o *Online) Seen() int { return o.seen }
+
+// LabelledFraction returns the share of observations that carried labels.
+func (o *Online) LabelledFraction() float64 {
+	if o.seen == 0 {
+		return 0
+	}
+	return float64(sum(o.global)) / float64(o.seen)
+}

@@ -1,0 +1,134 @@
+package semisup
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/preprocess"
+)
+
+func TestOnlineLearnsStreaming(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := clusteredTask(rng, 800, 8, 4)
+	// Seed the pipeline on the first slice only.
+	o, err := NewOnline(x[:100], 4, OnlineConfig{
+		Preprocess: preprocess.Options{SkipPCA: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream: label every third observation.
+	for i := 0; i < 600; i++ {
+		if i%3 == 0 {
+			if _, err := o.Record(x[i], y[i]); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			o.Observe(x[i])
+		}
+	}
+	if o.Seen() != 600 {
+		t.Errorf("Seen = %d", o.Seen())
+	}
+	if f := o.LabelledFraction(); f < 0.3 || f > 0.37 {
+		t.Errorf("LabelledFraction = %v", f)
+	}
+	if o.NumClusters() < 4 {
+		t.Errorf("only %d clusters after streaming 8 blobs", o.NumClusters())
+	}
+	hit := 0
+	for i := 600; i < 800; i++ {
+		if o.Predict(x[i]) == y[i] {
+			hit++
+		}
+	}
+	if acc := float64(hit) / 200; acc < 0.85 {
+		t.Errorf("online accuracy %.3f", acc)
+	}
+}
+
+func TestOnlineValidation(t *testing.T) {
+	if _, err := NewOnline(nil, 4, OnlineConfig{}); err == nil {
+		t.Error("empty seed accepted")
+	}
+	if _, err := NewOnline([][]float64{{1, 2}}, 1, OnlineConfig{}); err == nil {
+		t.Error("single class accepted")
+	}
+	o, err := NewOnline([][]float64{{1, 2}, {3, 4}}, 3, OnlineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Record([]float64{1, 2}, 7); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}
+
+func TestOnlineClusterCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	seed := make([][]float64, 20)
+	for i := range seed {
+		seed[i] = []float64{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	o, err := NewOnline(seed, 2, OnlineConfig{MaxClusters: 5,
+		Preprocess: preprocess.Options{SkipPCA: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		o.Observe([]float64{rng.Float64() * 100, rng.Float64() * 100})
+	}
+	if o.NumClusters() > 5 {
+		t.Errorf("cluster cap violated: %d", o.NumClusters())
+	}
+}
+
+func TestOnlinePredictBeforeAnyLabel(t *testing.T) {
+	o, err := NewOnline([][]float64{{0, 0}, {1, 1}}, 4, OnlineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must not panic and must return an in-range class.
+	if p := o.Predict([]float64{0.5, 0.5}); p < 0 || p >= 4 {
+		t.Errorf("prediction %d out of range", p)
+	}
+	o.Observe([]float64{0.2, 0.2})
+	if p := o.Predict([]float64{0.5, 0.5}); p < 0 || p >= 4 {
+		t.Errorf("prediction %d out of range after observe", p)
+	}
+}
+
+func TestOnlineAdaptsToDrift(t *testing.T) {
+	// A new sparsity-pattern regime appears mid-stream; the model must
+	// open clusters for it and learn its (different) format.
+	rng := rand.New(rand.NewSource(3))
+	seed := make([][]float64, 50)
+	for i := range seed {
+		seed[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	// Widen the seed range so the later regime is not clamped away by
+	// min-max scaling.
+	seed = append(seed, []float64{60, 60}, []float64{-10, -10})
+	o, err := NewOnline(seed, 2, OnlineConfig{
+		Preprocess: preprocess.Options{SkipPCA: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := o.Record([]float64{rng.NormFloat64(), rng.NormFloat64()}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// New regime far away, labelled class 1.
+	for i := 0; i < 100; i++ {
+		if _, err := o.Record([]float64{50 + rng.NormFloat64(), 50 + rng.NormFloat64()}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Predict([]float64{50, 50}) != 1 {
+		t.Error("model did not learn the new regime")
+	}
+	if o.Predict([]float64{0, 0}) != 0 {
+		t.Error("model forgot the old regime")
+	}
+}

@@ -1,0 +1,115 @@
+package semisup
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/preprocess"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := clusteredTask(rng, 400, 8, 4)
+	m, err := Train(x, y, 4, Config{NumClusters: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumClusters() != m.NumClusters() {
+		t.Fatalf("clusters %d != %d", loaded.NumClusters(), m.NumClusters())
+	}
+	for i, row := range x {
+		if m.Predict(row) != loaded.Predict(row) {
+			t.Fatalf("prediction diverges at row %d", i)
+		}
+		if m.ClusterOf(row) != loaded.ClusterOf(row) {
+			t.Fatalf("cluster assignment diverges at row %d", i)
+		}
+	}
+	for c := 0; c < m.NumClusters(); c++ {
+		if m.ClusterLabel(c) != loaded.ClusterLabel(c) || m.ClusterSize(c) != loaded.ClusterSize(c) {
+			t.Fatalf("cluster %d metadata diverges", c)
+		}
+	}
+}
+
+func TestLoadedModelRelabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := clusteredTask(rng, 400, 8, 4)
+	yFlip := make([]int, len(y))
+	for i, l := range y {
+		yFlip[i] = (l + 2) % 4
+	}
+	m, err := Train(x, y, 4, Config{NumClusters: 16, Seed: 4,
+		Preprocess: preprocess.Options{SkipPCA: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Port the loaded model to the "new architecture".
+	if err := loaded.Relabel(x, yFlip); err != nil {
+		t.Fatal(err)
+	}
+	hit := 0
+	for i, row := range x {
+		if loaded.Predict(row) == yFlip[i] {
+			hit++
+		}
+	}
+	if acc := float64(hit) / float64(len(x)); acc < 0.9 {
+		t.Errorf("relabelled loaded model accuracy %.3f", acc)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestSaveLoadAllRulesAndAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := clusteredTask(rng, 300, 4, 3)
+	for _, algo := range []Algorithm{AlgoKMeans, AlgoBirch, AlgoMeanShift} {
+		for _, rule := range []Rule{RuleVote, RuleLR, RuleRF} {
+			m, err := Train(x, y, 3, Config{Algorithm: algo, Rule: rule,
+				NumClusters: 8, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", algo, rule, err)
+			}
+			var buf bytes.Buffer
+			if err := m.Save(&buf); err != nil {
+				t.Fatalf("%s/%s save: %v", algo, rule, err)
+			}
+			loaded, err := Load(&buf)
+			if err != nil {
+				t.Fatalf("%s/%s load: %v", algo, rule, err)
+			}
+			for i := 0; i < 30; i++ {
+				row := x[rng.Intn(len(x))]
+				if m.Predict(row) != loaded.Predict(row) {
+					t.Fatalf("%s/%s: prediction diverges", algo, rule)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package semisup
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/preprocess"
+)
+
+// clusteredTask builds raw features whose ground-truth format is a
+// deterministic function of which blob a point belongs to, so a
+// cluster-then-label model can score highly.
+func clusteredTask(rng *rand.Rand, n, blobCount, classes int) (x [][]float64, y []int) {
+	centres := make([][]float64, blobCount)
+	for b := range centres {
+		centres[b] = []float64{
+			float64(b%4) * 20, float64(b/4) * 20, rng.Float64(),
+		}
+	}
+	for i := 0; i < n; i++ {
+		b := rng.Intn(blobCount)
+		p := make([]float64, 3)
+		for j := range p {
+			p[j] = centres[b][j] + rng.NormFloat64()*0.5
+		}
+		x = append(x, p)
+		y = append(y, b%classes)
+	}
+	return x, y
+}
+
+func accuracy(pred, want []int) float64 {
+	hit := 0
+	for i := range pred {
+		if pred[i] == want[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(pred))
+}
+
+func TestTrainPredictAllAlgorithmsAndRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := clusteredTask(rng, 500, 8, 4)
+	cut := 350
+	var msAcc, kmAcc float64
+	for _, algo := range []Algorithm{AlgoKMeans, AlgoBirch, AlgoMeanShift} {
+		for _, rule := range []Rule{RuleVote, RuleLR, RuleRF} {
+			cfg := Config{
+				Algorithm: algo, Rule: rule, NumClusters: 16, Seed: 3,
+				Preprocess: preprocess.Options{SkipPCA: true},
+			}
+			m, err := Train(x[:cut], y[:cut], 4, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", algo, rule, err)
+			}
+			pred := m.PredictAll(x[cut:])
+			for _, p := range pred {
+				if p < 0 || p >= 4 {
+					t.Fatalf("%s/%s: out-of-range prediction %d", algo, rule, p)
+				}
+			}
+			acc := accuracy(pred, y[cut:])
+			// Mean-Shift's automatic bandwidth controls its granularity,
+			// so it gets a lower bar than the K-driven algorithms; the
+			// Table 4 comparison (Mean-Shift trailing on the real corpus)
+			// is asserted in the eval package.
+			bar := 0.9
+			if algo == AlgoMeanShift {
+				bar = 0.5
+			}
+			if acc < bar {
+				t.Errorf("%s/%s: accuracy %.3f on blob task", algo, rule, acc)
+			}
+			if algo == AlgoMeanShift && rule == RuleVote {
+				msAcc = acc
+			}
+			if algo == AlgoKMeans && rule == RuleVote {
+				kmAcc = acc
+			}
+		}
+	}
+	if msAcc == 0 || kmAcc == 0 {
+		t.Error("expected both Mean-Shift and K-Means accuracies to be recorded")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	x := [][]float64{{1, 2}, {3, 4}}
+	y := []int{0, 1}
+	if _, err := Train(nil, nil, 2, Config{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Train(x, []int{0}, 2, Config{}); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+	if _, err := Train(x, y, 1, Config{}); err == nil {
+		t.Error("single class accepted")
+	}
+	if _, err := Train(x, y, 2, Config{Algorithm: "dbscan"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := Train(x, y, 2, Config{Rule: "oracle"}); err == nil {
+		t.Error("unknown rule accepted")
+	}
+}
+
+func TestBenchmarkFractionStillWorks(t *testing.T) {
+	// The semi-supervised promise: revealing only 20% of the labels
+	// barely hurts on well-clustered data.
+	rng := rand.New(rand.NewSource(2))
+	x, y := clusteredTask(rng, 600, 8, 4)
+	cut := 450
+	cfg := Config{
+		NumClusters: 16, Seed: 5, BenchmarkFraction: 0.2,
+		Preprocess: preprocess.Options{SkipPCA: true},
+	}
+	m, err := Train(x[:cut], y[:cut], 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m.PredictAll(x[cut:]), y[cut:]); acc < 0.85 {
+		t.Errorf("accuracy %.3f with 20%% benchmarking", acc)
+	}
+}
+
+func TestClusterIntrospection(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := clusteredTask(rng, 300, 4, 2)
+	m, err := Train(x, y, 2, Config{NumClusters: 8, Seed: 1,
+		Preprocess: preprocess.Options{SkipPCA: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumClusters() < 2 {
+		t.Fatalf("NumClusters = %d", m.NumClusters())
+	}
+	total := 0
+	for c := 0; c < m.NumClusters(); c++ {
+		total += m.ClusterSize(c)
+		if l := m.ClusterLabel(c); l < 0 || l >= 2 {
+			t.Errorf("cluster %d label %d out of range", c, l)
+		}
+	}
+	if total != 300 {
+		t.Errorf("cluster sizes sum to %d, want 300", total)
+	}
+	// Predict must equal the label of the assigned cluster.
+	for i := 0; i < 20; i++ {
+		p := x[rng.Intn(len(x))]
+		if m.Predict(p) != m.ClusterLabel(m.ClusterOf(p)) {
+			t.Fatal("Predict disagrees with ClusterLabel(ClusterOf)")
+		}
+	}
+}
+
+func TestPurity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := clusteredTask(rng, 400, 4, 4) // blob b -> class b: pure clusters
+	m, err := Train(x, y, 4, Config{NumClusters: 4, Seed: 2,
+		Preprocess: preprocess.Options{SkipPCA: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	purity, count, err := m.Purity(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for c := range purity {
+		n += count[c]
+		if count[c] > 0 && purity[c] < 0.9 {
+			t.Errorf("cluster %d purity %.3f on perfectly separable data", c, purity[c])
+		}
+	}
+	if n != 400 {
+		t.Errorf("purity counts sum to %d", n)
+	}
+	if _, _, err := m.Purity(x[:3], y[:2]); err == nil {
+		t.Error("mismatched purity input accepted")
+	}
+	if _, _, err := m.Purity([][]float64{x[0]}, []int{9}); err == nil {
+		t.Error("out-of-range purity label accepted")
+	}
+}
+
+func TestRelabelTransfersToFlippedLabels(t *testing.T) {
+	// Train on "architecture A", then port to "architecture B" whose
+	// optimal formats are a permutation of A's. After Relabel with B
+	// data, predictions must match B's ground truth.
+	rng := rand.New(rand.NewSource(5))
+	x, yA := clusteredTask(rng, 500, 8, 4)
+	yB := make([]int, len(yA))
+	for i, l := range yA {
+		yB[i] = (l + 1) % 4 // B prefers a different format everywhere
+	}
+	cut := 350
+	m, err := Train(x[:cut], yA[:cut], 4, Config{NumClusters: 16, Seed: 6,
+		Preprocess: preprocess.Options{SkipPCA: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accA := accuracy(m.PredictAll(x[cut:]), yB[cut:])
+	// Relabel with only a quarter of B's training data.
+	quarter := cut / 4
+	if err := m.Relabel(x[:quarter], yB[:quarter]); err != nil {
+		t.Fatal(err)
+	}
+	accB := accuracy(m.PredictAll(x[cut:]), yB[cut:])
+	if accB < 0.8 {
+		t.Errorf("post-relabel accuracy %.3f", accB)
+	}
+	if accB <= accA {
+		t.Errorf("relabelling did not help: %.3f -> %.3f", accA, accB)
+	}
+	if err := m.Relabel(nil, nil); err == nil {
+		t.Error("empty relabel accepted")
+	}
+}
+
+func TestFallbackLabelForEmptyClusters(t *testing.T) {
+	// With BenchmarkFraction tiny, most clusters get no revealed member
+	// and must fall back to the global majority rather than panicking.
+	rng := rand.New(rand.NewSource(7))
+	x, y := clusteredTask(rng, 300, 8, 4)
+	m, err := Train(x, y, 4, Config{NumClusters: 64, Seed: 3, BenchmarkFraction: 0.02,
+		Preprocess: preprocess.Options{SkipPCA: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < m.NumClusters(); c++ {
+		if l := m.ClusterLabel(c); l < 0 || l >= 4 {
+			t.Fatalf("cluster %d fallback label %d invalid", c, l)
+		}
+	}
+}
+
+func TestPaperPipelineEndToEnd(t *testing.T) {
+	// Full paper preprocessing (skew + min-max + PCA) over 21-feature
+	// vectors with power-law columns must still train and predict.
+	rng := rand.New(rand.NewSource(8))
+	n := 400
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		r := make([]float64, 21)
+		base := math.Pow(10, float64(rng.Intn(4)))
+		for j := range r {
+			r[j] = base * (1 + rng.Float64()) * float64(j+1)
+		}
+		x[i] = r
+		// Scale determines the preferred format, with 10% label noise —
+		// the shape of the real format-selection signal.
+		y[i] = 0
+		if base > 100 {
+			y[i] = 1
+		}
+		if rng.Float64() < 0.1 {
+			y[i] = 1 - y[i]
+		}
+	}
+	m, err := Train(x, y, 2, Config{NumClusters: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m.PredictAll(x), y); acc < 0.8 {
+		t.Errorf("in-sample accuracy %.3f", acc)
+	}
+}

@@ -1,0 +1,79 @@
+package semisup
+
+import (
+	"fmt"
+	"math"
+)
+
+// Expected-accuracy arithmetic from the paper's Section 4 worked
+// example: a cluster with purity p (fraction of members preferring the
+// dominant format) is labelled by majority vote over k benchmarked
+// members, each independently preferring the dominant format with
+// probability p. The paper walks through p=0.9, k=1 (accuracy 0.82),
+// p=0.8, k=1 (0.68) and p=0.8, k=2 (label correct with probability
+// 0.96, accuracy 0.78); these functions generalise that calculation and
+// the unit tests reproduce the paper's numbers.
+
+// VoteLabelProbability returns the probability that a majority vote over
+// k sampled members picks the cluster's dominant format, treating the
+// cluster as two-sided (dominant format vs everything else, the paper's
+// simplification). Ties split in the dominant format's favour half the
+// time. It returns an error for non-sensical inputs.
+func VoteLabelProbability(purity float64, k int) (float64, error) {
+	if purity < 0 || purity > 1 {
+		return 0, fmt.Errorf("semisup: purity %v outside [0, 1]", purity)
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("semisup: vote over %d samples", k)
+	}
+	win, tie := 0.0, 0.0
+	for d := 0; d <= k; d++ { // d = votes for the dominant format
+		p := binomialPMF(k, d, purity)
+		switch {
+		case 2*d > k:
+			win += p
+		case 2*d == k:
+			tie += p
+		}
+	}
+	return win + tie/2, nil
+}
+
+// ExpectedVoteAccuracy returns the expected classification accuracy of
+// the cluster once labelled by a k-sample majority vote: purity when the
+// vote picks the dominant format, 1-purity when it does not — exactly
+// the paper's example arithmetic.
+func ExpectedVoteAccuracy(purity float64, k int) (float64, error) {
+	q, err := VoteLabelProbability(purity, k)
+	if err != nil {
+		return 0, err
+	}
+	return q*purity + (1-q)*(1-purity), nil
+}
+
+// binomialPMF returns C(n, k) p^k (1-p)^(n-k) computed in log space for
+// stability.
+func binomialPMF(n, k int, p float64) float64 {
+	if p == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p == 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lg := lchoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	return math.Exp(lg)
+}
+
+// lchoose returns log C(n, k) via the log-gamma function.
+func lchoose(n, k int) float64 {
+	a, _ := math.Lgamma(float64(n + 1))
+	b, _ := math.Lgamma(float64(k + 1))
+	c, _ := math.Lgamma(float64(n - k + 1))
+	return a - b - c
+}

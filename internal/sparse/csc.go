@@ -1,0 +1,97 @@
+package sparse
+
+import "fmt"
+
+// CSC is the compressed sparse column format, CSR's transpose-dual:
+// colPtr[j]..colPtr[j+1] delimit column j's row indices and values. CSC
+// is not an SpMV-selection candidate in the paper (its y-scatter kernel
+// is rarely competitive for y = A*x), but a sparse library without it
+// would be incomplete: it gives O(1) column slicing and transpose-free
+// A^T operations.
+type CSC struct {
+	rows, cols int
+	colPtr     []int32
+	rowIdx     []int32
+	vals       []float64
+}
+
+// NewCSCFromCSR converts a CSR matrix to CSC (a transpose of the
+// compressed structure).
+func NewCSCFromCSR(a *CSR) *CSC {
+	t := a.Transpose() // CSR of A^T: its rows are A's columns
+	return &CSC{
+		rows:   a.rows,
+		cols:   a.cols,
+		colPtr: t.rowPtr,
+		rowIdx: t.colIdx,
+		vals:   t.vals,
+	}
+}
+
+// Dims returns the matrix dimensions.
+func (m *CSC) Dims() (rows, cols int) { return m.rows, m.cols }
+
+// NNZ returns the number of stored entries.
+func (m *CSC) NNZ() int { return len(m.vals) }
+
+// Format returns FormatCSC.
+func (m *CSC) Format() Format { return FormatCSC }
+
+// ColPtr exposes the column pointer array; callers must not modify it.
+func (m *CSC) ColPtr() []int32 { return m.colPtr }
+
+// RowIdx exposes the row index array; callers must not modify it.
+func (m *CSC) RowIdx() []int32 { return m.rowIdx }
+
+// Values exposes the value array; callers must not modify it.
+func (m *CSC) Values() []float64 { return m.vals }
+
+// ColNNZ returns the number of stored entries in column j.
+func (m *CSC) ColNNZ(j int) int { return int(m.colPtr[j+1] - m.colPtr[j]) }
+
+// SpMV computes y = A*x with the column-major scatter kernel.
+func (m *CSC) SpMV(y, x []float64) error {
+	if err := checkSpMVDims(m, y, x); err != nil {
+		return err
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for j := 0; j < m.cols; j++ {
+		xv := x[j]
+		if xv == 0 {
+			continue
+		}
+		for k := m.colPtr[j]; k < m.colPtr[j+1]; k++ {
+			y[m.rowIdx[k]] += m.vals[k] * xv
+		}
+	}
+	return nil
+}
+
+// SpMVT computes y = A^T * x without materialising the transpose: over
+// CSC this is the gather (CSR-style) kernel, the operation CSC makes
+// cheap.
+func (m *CSC) SpMVT(y, x []float64) error {
+	if len(x) != m.rows || len(y) != m.cols {
+		return fmt.Errorf("%w: CSC SpMVT with %dx%d matrix, len(x)=%d, len(y)=%d",
+			ErrDimension, m.rows, m.cols, len(x), len(y))
+	}
+	for j := 0; j < m.cols; j++ {
+		sum := 0.0
+		for k := m.colPtr[j]; k < m.colPtr[j+1]; k++ {
+			sum += m.vals[k] * x[m.rowIdx[k]]
+		}
+		y[j] = sum
+	}
+	return nil
+}
+
+// ToCSR converts the matrix back to canonical CSR.
+func (m *CSC) ToCSR() *CSR {
+	// The stored structure is CSR of A^T; transposing it back yields A.
+	t := &CSR{rows: m.cols, cols: m.rows, rowPtr: m.colPtr, colIdx: m.rowIdx, vals: m.vals}
+	return t.Transpose()
+}
+
+var _ Matrix = (*CSC)(nil)

@@ -1,0 +1,136 @@
+package sparse
+
+import "fmt"
+
+// DIA is the diagonal format: values are stored along occupied diagonals.
+// offsets[d] is the diagonal offset (j - i); vals is a rows x ndiags slab
+// in diagonal-major order. DIA degenerates badly for unstructured
+// matrices (up to O(n^2) space), so conversion enforces a size limit like
+// ELL's. The paper does not benchmark the DIA kernel but uses the DIA
+// structure sizes as classification features.
+type DIA struct {
+	rows, cols int
+	nnz        int
+	offsets    []int32
+	vals       []float64 // len ndiags*rows, diagonal-major
+}
+
+// DefaultDIALimit caps the DIA slab at this multiple of the nonzero count.
+const DefaultDIALimit = 16
+
+// NewDIAFromCSR converts a CSR matrix to DIA. If the slab would exceed
+// limit*nnz entries it returns ErrTooLarge (limit <= 0 selects
+// DefaultDIALimit).
+func NewDIAFromCSR(a *CSR, limit int) (*DIA, error) {
+	if limit <= 0 {
+		limit = DefaultDIALimit
+	}
+	// Mark occupied diagonals. Offset range is [-(rows-1), cols-1].
+	occ := make([]bool, a.rows+a.cols-1)
+	ndiags := 0
+	for i := 0; i < a.rows; i++ {
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			d := int(a.colIdx[k]) - i + a.rows - 1
+			if !occ[d] {
+				occ[d] = true
+				ndiags++
+			}
+		}
+	}
+	slab := ndiags * a.rows
+	if nnz := a.NNZ(); nnz > 0 && slab > limit*nnz {
+		return nil, fmt.Errorf("%w: DIA slab %d entries (%d diagonals) > %d * nnz %d",
+			ErrTooLarge, slab, ndiags, limit, nnz)
+	}
+	m := &DIA{
+		rows:    a.rows,
+		cols:    a.cols,
+		nnz:     a.NNZ(),
+		offsets: make([]int32, 0, ndiags),
+		vals:    make([]float64, slab),
+	}
+	// diagSlot[d] = index of diagonal d in the slab, or -1.
+	diagSlot := make([]int32, len(occ))
+	for d := range diagSlot {
+		diagSlot[d] = -1
+	}
+	for d, used := range occ {
+		if used {
+			diagSlot[d] = int32(len(m.offsets))
+			m.offsets = append(m.offsets, int32(d-(a.rows-1)))
+		}
+	}
+	for i := 0; i < a.rows; i++ {
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			d := int(a.colIdx[k]) - i + a.rows - 1
+			m.vals[int(diagSlot[d])*a.rows+i] = a.vals[k]
+		}
+	}
+	return m, nil
+}
+
+// Dims returns the matrix dimensions.
+func (m *DIA) Dims() (rows, cols int) { return m.rows, m.cols }
+
+// NNZ returns the number of true nonzero entries.
+func (m *DIA) NNZ() int { return m.nnz }
+
+// Format returns FormatDIA.
+func (m *DIA) Format() Format { return FormatDIA }
+
+// NumDiagonals returns the number of occupied diagonals (the paper's
+// "diagonals" feature).
+func (m *DIA) NumDiagonals() int { return len(m.offsets) }
+
+// SlabSize returns the total number of stored slots including padding
+// (the paper's dia_size feature).
+func (m *DIA) SlabSize() int { return len(m.vals) }
+
+// SpMV computes y = A*x walking each stored diagonal.
+func (m *DIA) SpMV(y, x []float64) error {
+	if err := checkSpMVDims(m, y, x); err != nil {
+		return err
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for d, off := range m.offsets {
+		base := d * m.rows
+		lo, hi := 0, m.rows
+		if off > 0 {
+			if hi > m.cols-int(off) {
+				hi = m.cols - int(off)
+			}
+		} else {
+			lo = -int(off)
+		}
+		for i := lo; i < hi; i++ {
+			if v := m.vals[base+i]; v != 0 {
+				y[i] += v * x[i+int(off)]
+			}
+		}
+	}
+	return nil
+}
+
+// ToCSR converts the matrix back to canonical CSR. Padding slots hold
+// exact zeros and are dropped by the Triplet assembly; a true stored zero
+// would be dropped too, which matches the semantics of every other
+// conversion in this package.
+func (m *DIA) ToCSR() *CSR {
+	t := NewTriplet(m.rows, m.cols)
+	t.Reserve(m.nnz)
+	for d, off := range m.offsets {
+		base := d * m.rows
+		for i := 0; i < m.rows; i++ {
+			j := i + int(off)
+			if j < 0 || j >= m.cols {
+				continue
+			}
+			if v := m.vals[base+i]; v != 0 {
+				_ = t.Add(i, j, v)
+			}
+		}
+	}
+	return t.ToCSR()
+}

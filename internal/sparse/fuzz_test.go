@@ -1,0 +1,51 @@
+package sparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrixMarket checks the parser's safety contract on arbitrary
+// input: it either rejects the stream with an error or produces a matrix
+// that passes structural validation and survives a write/read round
+// trip. `go test` exercises the seed corpus; `go test -fuzz=Fuzz` keeps
+// exploring.
+func FuzzReadMatrixMarket(f *testing.F) {
+	seeds := []string{
+		"",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.5\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 1\n3 1 2\n",
+		"%%MatrixMarket matrix coordinate pattern general\n2 3 2\n1 1\n2 3\n",
+		"%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 4\n",
+		"%%MatrixMarket matrix coordinate real general\n% comment\n1 1 1\n1 1 1e300\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1\n1 2 2\n2 2 -1\n",
+		"%%MatrixMarket matrix coordinate real general\n0 0 0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n3 3 1\n",
+		"%%MatrixMarket matrix coordinate real general\n1 1 2\n1 1 1\n1 1 -1\n",
+		"%%MatrixMarket matrix array real general\n1 1\n1\n",
+		"garbage\n1 1 1\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		m, err := ReadMatrixMarket(strings.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("parser produced an invalid matrix: %v", err)
+		}
+		var sb strings.Builder
+		if err := WriteMatrixMarket(&sb, m); err != nil {
+			t.Fatalf("cannot re-serialise parsed matrix: %v", err)
+		}
+		again, err := ReadMatrixMarket(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("cannot re-parse serialised matrix: %v", err)
+		}
+		if !Equal(m, again) {
+			t.Fatal("write/read round trip changed the matrix")
+		}
+	})
+}

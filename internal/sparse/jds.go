@@ -1,0 +1,109 @@
+package sparse
+
+import "sort"
+
+// JDS is jagged diagonal storage (Saad's SPARSKIT, the paper's reference
+// for classic sparse kernels): rows are sorted by decreasing length and
+// the k-th entries of all sufficiently long rows are stored contiguously
+// as the k-th "jagged diagonal". Like ELL it streams coalesced columns,
+// but with zero padding — at the price of a row permutation that must be
+// undone on output, the reordering/locality trade-off the paper's
+// related work discusses for sliced ELL.
+//
+// JDS is an extension format: it is not part of the paper's benchmarked
+// set and does not participate in format selection by default.
+type JDS struct {
+	rows, cols int
+	nnz        int
+	perm       []int32 // perm[k] = original index of the k-th longest row
+	jdPtr      []int32 // jagged diagonal j occupies [jdPtr[j], jdPtr[j+1])
+	colIdx     []int32
+	vals       []float64
+}
+
+// NewJDSFromCSR converts a CSR matrix to JDS.
+func NewJDSFromCSR(a *CSR) *JDS {
+	rows, cols := a.Dims()
+	m := &JDS{rows: rows, cols: cols, nnz: a.NNZ()}
+
+	m.perm = make([]int32, rows)
+	for i := range m.perm {
+		m.perm[i] = int32(i)
+	}
+	sort.SliceStable(m.perm, func(x, y int) bool {
+		return a.RowNNZ(int(m.perm[x])) > a.RowNNZ(int(m.perm[y]))
+	})
+
+	maxRow := 0
+	if rows > 0 {
+		maxRow = a.RowNNZ(int(m.perm[0]))
+	}
+	m.jdPtr = make([]int32, maxRow+1)
+	m.colIdx = make([]int32, m.nnz)
+	m.vals = make([]float64, m.nnz)
+
+	pos := int32(0)
+	for j := 0; j < maxRow; j++ {
+		m.jdPtr[j] = pos
+		for k := 0; k < rows; k++ {
+			orig := int(m.perm[k])
+			if a.RowNNZ(orig) <= j {
+				break // rows are sorted: nothing longer follows
+			}
+			src := a.rowPtr[orig] + int32(j)
+			m.colIdx[pos] = a.colIdx[src]
+			m.vals[pos] = a.vals[src]
+			pos++
+		}
+	}
+	if maxRow >= 0 {
+		m.jdPtr[maxRow] = pos
+	}
+	return m
+}
+
+// Dims returns the matrix dimensions.
+func (m *JDS) Dims() (rows, cols int) { return m.rows, m.cols }
+
+// NNZ returns the number of stored entries (JDS never pads).
+func (m *JDS) NNZ() int { return m.nnz }
+
+// Format returns FormatJDS.
+func (m *JDS) Format() Format { return FormatJDS }
+
+// NumDiagonals returns the number of jagged diagonals (the maximum row
+// length).
+func (m *JDS) NumDiagonals() int { return len(m.jdPtr) - 1 }
+
+// SpMV computes y = A*x walking each jagged diagonal.
+func (m *JDS) SpMV(y, x []float64) error {
+	if err := checkSpMVDims(m, y, x); err != nil {
+		return err
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for j := 0; j+1 < len(m.jdPtr); j++ {
+		lo, hi := m.jdPtr[j], m.jdPtr[j+1]
+		for k := lo; k < hi; k++ {
+			row := m.perm[k-lo]
+			y[row] += m.vals[k] * x[m.colIdx[k]]
+		}
+	}
+	return nil
+}
+
+// ToCSR converts the matrix back to canonical CSR.
+func (m *JDS) ToCSR() *CSR {
+	t := NewTriplet(m.rows, m.cols)
+	t.Reserve(m.nnz)
+	for j := 0; j+1 < len(m.jdPtr); j++ {
+		lo, hi := m.jdPtr[j], m.jdPtr[j+1]
+		for k := lo; k < hi; k++ {
+			_ = t.Add(int(m.perm[k-lo]), int(m.colIdx[k]), m.vals[k])
+		}
+	}
+	return t.ToCSR()
+}
+
+var _ Matrix = (*JDS)(nil)

@@ -1,0 +1,64 @@
+package sparse
+
+import (
+	"compress/gzip"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ReadMatrixMarketFile reads a MatrixMarket file from disk, transparently
+// decompressing ".gz" files — the form in which the SuiteSparse
+// collection distributes its matrices.
+func ReadMatrixMarketFile(path string) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: decompressing %s: %w", path, err)
+		}
+		defer gz.Close()
+		m, err := ReadMatrixMarket(gz)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: reading %s: %w", path, err)
+		}
+		return m, nil
+	}
+	m, err := ReadMatrixMarket(f)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: reading %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// WriteMatrixMarketFile writes a matrix to disk, gzip-compressing when
+// the path ends in ".gz".
+func WriteMatrixMarketFile(path string, m Matrix) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("sparse: creating %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("sparse: closing %s: %w", path, cerr)
+		}
+	}()
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		if err := WriteMatrixMarket(gz, m); err != nil {
+			return fmt.Errorf("sparse: writing %s: %w", path, err)
+		}
+		if err := gz.Close(); err != nil {
+			return fmt.Errorf("sparse: flushing %s: %w", path, err)
+		}
+		return nil
+	}
+	if err := WriteMatrixMarket(f, m); err != nil {
+		return fmt.Errorf("sparse: writing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	a := randomCSR(t, rng, 25, 19, 0.15)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	b, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !Equal(a, b) {
+		t.Error("MatrixMarket round trip changed the matrix")
+	}
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+% a comment line
+3 3 4
+1 1 2.0
+2 1 -1.0
+3 2 -1.0
+3 3 2.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 6 {
+		t.Fatalf("NNZ = %d, want 6 after symmetric expansion", m.NNZ())
+	}
+	if m.At(0, 1) != -1 || m.At(1, 0) != -1 {
+		t.Error("symmetric mirror entry missing")
+	}
+	if m.At(0, 0) != 2 {
+		t.Error("diagonal entry wrong")
+	}
+}
+
+func TestMatrixMarketSkewSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3.5
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3.5 || m.At(0, 1) != -3.5 {
+		t.Errorf("skew expansion wrong: %v, %v", m.At(1, 0), m.At(0, 1))
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 3 2
+1 1
+2 3
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 1 || m.At(1, 2) != 1 {
+		t.Error("pattern entries should read as 1.0")
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad header", "%%NotMM matrix coordinate real general\n1 1 0\n"},
+		{"array container", "%%MatrixMarket matrix array real general\n1 1\n"},
+		{"complex values", "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n"},
+		{"hermitian", "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n"},
+		{"missing size", "%%MatrixMarket matrix coordinate real general\n"},
+		{"bad size", "%%MatrixMarket matrix coordinate real general\nx y z\n"},
+		{"entry count mismatch", "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"},
+		{"index out of range", "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n"},
+		{"short entry", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n"},
+		{"bad value", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: ReadMatrixMarket succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestMatrixMarketDuplicatesSummed(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+2 2 2
+1 1 1.5
+1 1 2.5
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 4.0 {
+		t.Errorf("duplicates not summed: got %v, want 4.0", m.At(0, 0))
+	}
+}
+
+func TestMatrixMarketFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := randomCSR(t, rng, 12, 12, 0.3)
+	dir := t.TempDir()
+	for _, name := range []string{"plain.mtx", "packed.mtx.gz"} {
+		path := filepath.Join(dir, name)
+		if err := WriteMatrixMarketFile(path, a); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		b, err := ReadMatrixMarketFile(path)
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		if !Equal(a, b) {
+			t.Errorf("%s: round trip changed the matrix", name)
+		}
+	}
+	// The gzip variant must actually be gzip (magic bytes).
+	raw, err := os.ReadFile(filepath.Join(dir, "packed.mtx.gz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Error("gz file is not gzip-compressed")
+	}
+	if _, err := ReadMatrixMarketFile(filepath.Join(dir, "missing.mtx")); err == nil {
+		t.Error("missing file accepted")
+	}
+	// A .gz path with non-gzip contents must fail cleanly.
+	bad := filepath.Join(dir, "bad.mtx.gz")
+	if err := os.WriteFile(bad, []byte("plain text"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMatrixMarketFile(bad); err == nil {
+		t.Error("corrupt gzip accepted")
+	}
+}

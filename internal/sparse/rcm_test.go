@@ -1,0 +1,108 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRCMRecoversBandedStructure(t *testing.T) {
+	// Build a banded matrix, destroy its ordering with a random
+	// symmetric permutation, then check RCM recovers a small bandwidth.
+	rng := rand.New(rand.NewSource(1))
+	n, band := 300, 4
+	tr := NewTriplet(n, n)
+	for i := 0; i < n; i++ {
+		for j := i - band; j <= i+band; j++ {
+			if j >= 0 && j < n {
+				_ = tr.Add(i, j, 1)
+			}
+		}
+	}
+	banded := tr.ToCSR()
+	origBW := Bandwidth(banded)
+
+	shufflePerm := rng.Perm(n)
+	shuffled, err := banded.Permute(shufflePerm, shufflePerm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Bandwidth(shuffled) < n/4 {
+		t.Fatalf("shuffle did not destroy locality (bw %d)", Bandwidth(shuffled))
+	}
+
+	perm, err := RCM(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkPermutation(perm, n); err != nil {
+		t.Fatalf("RCM output not a permutation: %v", err)
+	}
+	restored, err := shuffled.Permute(perm, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Bandwidth(restored)
+	if got > 3*origBW {
+		t.Errorf("RCM bandwidth %d, original %d, shuffled %d", got, origBW, Bandwidth(shuffled))
+	}
+}
+
+func TestRCMHandlesDisconnectedComponents(t *testing.T) {
+	// Two disjoint chains plus an isolated vertex.
+	tr := NewTriplet(9, 9)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {4, 5}, {5, 6}} {
+		_ = tr.Add(e[0], e[1], 1)
+		_ = tr.Add(e[1], e[0], 1)
+	}
+	_ = tr.Add(8, 8, 1)
+	m := tr.ToCSR()
+	perm, err := RCM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkPermutation(perm, 9); err != nil {
+		t.Fatalf("not a permutation: %v", err)
+	}
+}
+
+func TestRCMRejectsRectangular(t *testing.T) {
+	tr := NewTriplet(3, 4)
+	_ = tr.Add(0, 0, 1)
+	if _, err := RCM(tr.ToCSR()); err == nil {
+		t.Error("rectangular matrix accepted")
+	}
+}
+
+func TestRCMAsymmetricPattern(t *testing.T) {
+	// Strictly upper-triangular chain: symmetrisation must connect it.
+	tr := NewTriplet(6, 6)
+	for i := 0; i < 5; i++ {
+		_ = tr.Add(i, i+1, 1)
+	}
+	m := tr.ToCSR()
+	perm, err := RCM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Permute(perm, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw := Bandwidth(p); bw != 1 {
+		t.Errorf("chain bandwidth after RCM = %d, want 1", bw)
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	tr := NewTriplet(5, 5)
+	_ = tr.Add(0, 0, 1)
+	_ = tr.Add(4, 1, 1)
+	if bw := Bandwidth(tr.ToCSR()); bw != 3 {
+		t.Errorf("Bandwidth = %d, want 3", bw)
+	}
+	empty := NewTriplet(3, 3)
+	_ = empty.Add(1, 1, 1)
+	if bw := Bandwidth(empty.ToCSR()); bw != 0 {
+		t.Errorf("diagonal Bandwidth = %d, want 0", bw)
+	}
+}

@@ -1,0 +1,65 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSpMMMatchesRepeatedSpMV(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	const k = 4
+	for _, sh := range []struct{ r, c int }{{5, 7}, {50, 40}, {1, 1}} {
+		a := randomCSR(t, rng, sh.r, sh.c, 0.25)
+		x := make([]float64, sh.c*k)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y := make([]float64, sh.r*k)
+		if err := a.SpMM(y, x, k); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < k; j++ {
+			want := make([]float64, sh.r)
+			if err := a.SpMV(want, x[j*sh.c:(j+1)*sh.c]); err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(y[j*sh.r:(j+1)*sh.r], want, 1e-12) {
+				t.Errorf("%dx%d column %d: SpMM disagrees with SpMV", sh.r, sh.c, j)
+			}
+		}
+		// The generic fallback must agree too, over every format.
+		for _, f := range KernelFormats() {
+			conv, err := Convert(a, f)
+			if err != nil {
+				continue
+			}
+			yg := make([]float64, sh.r*k)
+			if err := MultiSpMV(conv, yg, x, k); err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(yg, y, 1e-12) {
+				t.Errorf("%dx%d %v: MultiSpMV disagrees with SpMM", sh.r, sh.c, f)
+			}
+		}
+	}
+}
+
+func TestSpMMValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	a := randomCSR(t, rng, 4, 5, 0.5)
+	if err := a.SpMM(make([]float64, 8), make([]float64, 10), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if err := a.SpMM(make([]float64, 8), make([]float64, 9), 2); err == nil {
+		t.Error("short x accepted")
+	}
+	if err := a.SpMM(make([]float64, 7), make([]float64, 10), 2); err == nil {
+		t.Error("short y accepted")
+	}
+	if err := MultiSpMV(a, make([]float64, 8), make([]float64, 9), 2); err == nil {
+		t.Error("MultiSpMV short x accepted")
+	}
+	if err := MultiSpMV(a, make([]float64, 8), make([]float64, 10), 0); err == nil {
+		t.Error("MultiSpMV k=0 accepted")
+	}
+}

@@ -1,0 +1,147 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Triplet accumulates (row, col, value) entries in arbitrary order and
+// produces a canonical CSR matrix. Duplicate coordinates are summed, and
+// explicit zeros are dropped, matching the semantics of MatrixMarket
+// assembly. The zero value is not usable; call NewTriplet.
+type Triplet struct {
+	rows, cols int
+	r, c       []int32
+	v          []float64
+}
+
+// NewTriplet returns an empty accumulator for a rows x cols matrix.
+// It panics if either dimension is not positive, since a matrix with a
+// zero dimension cannot participate in SpMV.
+func NewTriplet(rows, cols int) *Triplet {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("sparse: NewTriplet(%d, %d): dimensions must be positive", rows, cols))
+	}
+	return &Triplet{rows: rows, cols: cols}
+}
+
+// Dims returns the logical dimensions of the matrix under construction.
+func (t *Triplet) Dims() (rows, cols int) { return t.rows, t.cols }
+
+// Len returns the number of accumulated entries, counting duplicates.
+func (t *Triplet) Len() int { return len(t.v) }
+
+// Add appends one entry. Entries may repeat; they are summed in ToCSR.
+func (t *Triplet) Add(row, col int, v float64) error {
+	if row < 0 || row >= t.rows || col < 0 || col >= t.cols {
+		return fmt.Errorf("%w: (%d, %d) outside %dx%d", ErrIndexRange, row, col, t.rows, t.cols)
+	}
+	t.r = append(t.r, int32(row))
+	t.c = append(t.c, int32(col))
+	t.v = append(t.v, v)
+	return nil
+}
+
+// Reserve pre-allocates capacity for n entries.
+func (t *Triplet) Reserve(n int) {
+	if cap(t.r) < n {
+		r := make([]int32, len(t.r), n)
+		copy(r, t.r)
+		t.r = r
+		c := make([]int32, len(t.c), n)
+		copy(c, t.c)
+		t.c = c
+		v := make([]float64, len(t.v), n)
+		copy(v, t.v)
+		t.v = v
+	}
+}
+
+// ToCSR sorts the accumulated entries, sums duplicates, drops explicit
+// zeros and returns the canonical CSR matrix. The Triplet remains valid
+// and may keep accumulating entries afterwards.
+//
+// Assembly is a counting sort by row (O(nnz + rows)) followed by a
+// per-row column sort, rather than a global comparison sort, so building
+// large collections stays cheap.
+func (t *Triplet) ToCSR() *CSR {
+	n := len(t.v)
+	// Counting sort by row into scratch arrays.
+	start := make([]int32, t.rows+1)
+	for _, r := range t.r {
+		start[r+1]++
+	}
+	for i := 0; i < t.rows; i++ {
+		start[i+1] += start[i]
+	}
+	pos := make([]int32, t.rows)
+	copy(pos, start[:t.rows])
+	cScratch := make([]int32, n)
+	vScratch := make([]float64, n)
+	for k := 0; k < n; k++ {
+		p := pos[t.r[k]]
+		pos[t.r[k]]++
+		cScratch[p] = t.c[k]
+		vScratch[p] = t.v[k]
+	}
+
+	rowPtr := make([]int32, t.rows+1)
+	colIdx := make([]int32, 0, n)
+	vals := make([]float64, 0, n)
+	for i := 0; i < t.rows; i++ {
+		lo, hi := int(start[i]), int(start[i+1])
+		seg := cScratch[lo:hi]
+		vseg := vScratch[lo:hi]
+		sortRow(seg, vseg)
+		// Merge duplicates and drop zeros.
+		for k := 0; k < len(seg); {
+			j := k + 1
+			sum := vseg[k]
+			for j < len(seg) && seg[j] == seg[k] {
+				sum += vseg[j]
+				j++
+			}
+			if sum != 0 {
+				colIdx = append(colIdx, seg[k])
+				vals = append(vals, sum)
+				rowPtr[i+1]++
+			}
+			k = j
+		}
+	}
+	for i := 0; i < t.rows; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	return &CSR{rows: t.rows, cols: t.cols, rowPtr: rowPtr, colIdx: colIdx, vals: vals}
+}
+
+// sortRow sorts one row's columns (and values in lockstep): insertion
+// sort for the short rows that dominate sparse matrices, sort.Sort above
+// a threshold.
+func sortRow(c []int32, v []float64) {
+	if len(c) <= 24 {
+		for i := 1; i < len(c); i++ {
+			cc, vv := c[i], v[i]
+			j := i - 1
+			for j >= 0 && c[j] > cc {
+				c[j+1], v[j+1] = c[j], v[j]
+				j--
+			}
+			c[j+1], v[j+1] = cc, vv
+		}
+		return
+	}
+	sort.Sort(&rowSorter{c: c, v: v})
+}
+
+type rowSorter struct {
+	c []int32
+	v []float64
+}
+
+func (s *rowSorter) Len() int           { return len(s.c) }
+func (s *rowSorter) Less(i, j int) bool { return s.c[i] < s.c[j] }
+func (s *rowSorter) Swap(i, j int) {
+	s.c[i], s.c[j] = s.c[j], s.c[i]
+	s.v[i], s.v[j] = s.v[j], s.v[i]
+}
