@@ -1,0 +1,11 @@
+# check runs the full CI pipeline: vet, build, race-enabled tests, and
+# the observability disabled-path overhead benchmark.
+check:
+	sh ci.sh
+
+# bench-obs additionally regenerates the committed BENCH_obs.json perf
+# baseline from an instrumented paper-scale `table -n 9` run.
+bench-obs:
+	sh ci.sh bench
+
+.PHONY: check bench-obs

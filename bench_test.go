@@ -12,6 +12,7 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/gpusim"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/semisup"
 	"repro/internal/sparse"
 )
@@ -36,7 +38,7 @@ var (
 func benchEnv(b *testing.B) *eval.Env {
 	b.Helper()
 	envOnce.Do(func() {
-		envVal, envErr = eval.NewEnv(eval.QuickOptions())
+		envVal, envErr = eval.NewEnv(context.Background(), eval.QuickOptions())
 	})
 	if envErr != nil {
 		b.Fatalf("building environment: %v", envErr)
@@ -64,7 +66,7 @@ func BenchmarkTable4(b *testing.B) {
 	opt := eval.QuickOptions()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := eval.Table4(env, opt)
+		rows, err := eval.Table4(context.Background(), env, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -92,7 +94,7 @@ func BenchmarkTable5(b *testing.B) {
 	opt.Folds = 2
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := eval.Table5(env, opt)
+		rows, err := eval.Table5(context.Background(), env, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -114,7 +116,7 @@ func BenchmarkTable6(b *testing.B) {
 	opt := eval.QuickOptions()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := eval.Table6(env, opt)
+		rows, err := eval.Table6(context.Background(), env, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,7 +138,7 @@ func BenchmarkTable7(b *testing.B) {
 	opt.Folds = 2
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := eval.Table7(env, opt)
+		rows, err := eval.Table7(context.Background(), env, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -169,7 +171,7 @@ func BenchmarkTable9(b *testing.B) {
 	opt.CNNEpochs = 1
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := eval.Table9(env, opt)
+		rows, err := eval.Table9(context.Background(), env, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -464,6 +466,24 @@ func BenchmarkFeatureExtract(b *testing.B) {
 	b.SetBytes(int64(m.NNZ() * 12))
 	for i := 0; i < b.N; i++ {
 		_ = features.Extract(m)
+	}
+}
+
+// BenchmarkObsOverhead proves the observability layer is free when no
+// sink is registered: a full obs.Start/End span pair on the disabled
+// path must stay under 2 ns/op with zero allocations (ci.sh runs this
+// benchmark on every check). The same guard exists next to the
+// implementation in internal/obs; this copy keeps the repo-root
+// `go test -bench BenchmarkObsOverhead` invocation meaningful.
+func BenchmarkObsOverhead(b *testing.B) {
+	if obs.Enabled() {
+		b.Fatal("observability unexpectedly enabled")
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := obs.Start(ctx, "bench/disabled")
+		sp.End()
 	}
 }
 

@@ -1,0 +1,31 @@
+#!/bin/sh
+# ci.sh — the repository's check pipeline (also reachable as `make check`).
+#
+# Usage: ./ci.sh [bench]
+#
+#   (no argument)  vet + build + race-enabled tests + the obs
+#                  disabled-path overhead benchmark
+#   bench          additionally regenerate BENCH_obs.json from an
+#                  instrumented paper-scale `table -n 9` run (minutes)
+set -eu
+cd "$(dirname "$0")"
+
+echo '== go vet ./...'
+go vet ./...
+
+echo '== go build ./...'
+go build ./...
+
+echo '== go test -race ./...'
+go test -race ./...
+
+echo '== obs disabled-path overhead (budget: < 2 ns/op, see internal/obs)'
+go test -run - -bench BenchmarkObsOverhead -benchtime 100x . ./internal/obs
+
+if [ "${1:-}" = bench ]; then
+	echo '== regenerating BENCH_obs.json (instrumented table -n 9, paper scale)'
+	go run ./cmd/spmvselect table -n 9 -obs :0 -report BENCH_obs.json >/dev/null
+	go run ./cmd/spmvselect report -in BENCH_obs.json -text
+fi
+
+echo 'ci: all checks passed'

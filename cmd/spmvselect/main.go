@@ -13,9 +13,20 @@
 //	spmvselect cpubench -dir DIR          run the pipeline on real measured
 //	                                      host-CPU SpMV times over a
 //	                                      directory of .mtx(.gz) files
+//	spmvselect report                     print the run report of the last
+//	                                      instrumented (-obs) run
+//
+// The table, tables and cpubench subcommands accept -obs ADDR, which
+// turns on the internal/obs pipeline instrumentation, serves expvar and
+// net/http/pprof on ADDR (":0" picks a free port) for the duration of
+// the run, and writes a machine-readable run report (-report PATH,
+// default obs-run.json) with per-stage span timings and the
+// kernel-throughput histograms.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -29,6 +40,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/eval"
 	"repro/internal/gpusim"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -49,6 +61,8 @@ func main() {
 		err = cmdPredict(os.Args[2:])
 	case "cpubench":
 		err = cmdCPUBench(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -61,11 +75,12 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  spmvselect table -n <1..9> [-quick]
-  spmvselect tables [-quick]
+  spmvselect table -n <1..9> [-quick] [-obs ADDR] [-report PATH]
+  spmvselect tables [-quick] [-obs ADDR] [-report PATH]
   spmvselect export -dir DIR [-count N] [-seed S]
   spmvselect predict -mtx FILE [-arch Turing] [-quick]
-  spmvselect cpubench -dir DIR [-trials N] [-clusters K]`)
+  spmvselect cpubench -dir DIR [-trials N] [-clusters K] [-quick] [-obs ADDR] [-report PATH]
+  spmvselect report [-in PATH] [-text]`)
 }
 
 func options(quick bool) eval.Options {
@@ -75,10 +90,64 @@ func options(quick bool) eval.Options {
 	return eval.PaperOptions()
 }
 
+// startObs turns observability on when addr is non-empty: it installs a
+// span collector as the sink, serves expvar and net/http/pprof on addr,
+// and returns a finish func that tears both down and writes the run
+// report. With addr == "" both the returned finish and the run stay
+// no-ops.
+func startObs(command string, args []string, addr, reportPath string) (func() error, error) {
+	if addr == "" {
+		return func() error { return nil }, nil
+	}
+	col := obs.NewCollector()
+	obs.SetSink(col)
+	bound, stop, err := obs.Serve(addr)
+	if err != nil {
+		obs.SetSink(nil)
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "obs: serving expvar and pprof on http://%s/debug/\n", bound)
+	return func() error {
+		obs.SetSink(nil)
+		if err := stop(); err != nil {
+			return err
+		}
+		if err := obs.WriteReport(reportPath, col.Report(command, args)); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "obs: run report written to %s\n", reportPath)
+		return nil
+	}, nil
+}
+
+// calibrateKernels runs a short measured SpMV sweep over a handful of
+// generated matrices so an instrumented run always carries
+// kernel-throughput histograms — the simulator-backed tables never
+// execute a real kernel.
+func calibrateKernels(ctx context.Context) error {
+	_, span := obs.Start(ctx, "calibrate")
+	defer span.End()
+	items, err := dataset.Generate(dataset.Config{
+		Seed: 7, BaseCount: 8, Scale: 0.3, DropELLFailures: true,
+	})
+	if err != nil {
+		return fmt.Errorf("calibrating kernels: %w", err)
+	}
+	for _, it := range items {
+		if _, err := cpubench.Measure(it.Matrix, 2); err != nil {
+			return fmt.Errorf("calibrating kernels: %w", err)
+		}
+	}
+	span.SetMetric("matrices", float64(len(items)))
+	return nil
+}
+
 func cmdTable(args []string, all bool) error {
 	fs := flag.NewFlagSet("table", flag.ExitOnError)
 	n := fs.Int("n", 0, "table number (1-9)")
 	quick := fs.Bool("quick", false, "reduced dataset and folds for a fast run")
+	obsAddr := fs.String("obs", "", "enable instrumentation and serve expvar+pprof on this address (:0 picks a port)")
+	reportPath := fs.String("report", obs.DefaultReportPath, "run-report path (used with -obs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,6 +157,16 @@ func cmdTable(args []string, all bool) error {
 		return fmt.Errorf("table number %d outside 1..9", *n)
 	}
 	opt := options(*quick)
+
+	command := "table"
+	if all {
+		command = "tables"
+	}
+	finish, err := startObs(command, args, *obsAddr, *reportPath)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
 
 	want := func(k int) bool { return all || *n == k }
 
@@ -104,26 +183,32 @@ func cmdTable(args []string, all bool) error {
 		fmt.Println()
 	}
 	if !all && *n <= 2 {
-		return nil
+		return finish()
 	}
 
-	start := time.Now()
+	if *obsAddr != "" {
+		if err := calibrateKernels(ctx); err != nil {
+			return err
+		}
+	}
+
+	tm := obs.StartTimer("cmd/corpus")
 	fmt.Fprintf(os.Stderr, "building corpus (quick=%v)...\n", *quick)
-	env, err := eval.NewEnv(opt)
+	env, err := eval.NewEnv(ctx, opt)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "corpus ready in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "corpus ready in %v\n", tm.Stop().Round(time.Millisecond))
 
 	run := func(k int, f func() error) error {
 		if !want(k) {
 			return nil
 		}
-		t0 := time.Now()
+		t := obs.StartTimer(fmt.Sprintf("cmd/table%d", k))
 		if err := f(); err != nil {
 			return fmt.Errorf("table %d: %w", k, err)
 		}
-		fmt.Fprintf(os.Stderr, "table %d done in %v\n", k, time.Since(t0).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "table %d done in %v\n", k, t.Stop().Round(time.Millisecond))
 		fmt.Println()
 		return nil
 	}
@@ -132,7 +217,7 @@ func cmdTable(args []string, all bool) error {
 		return err
 	}
 	if err := run(4, func() error {
-		rows, err := eval.Table4(env, opt)
+		rows, err := eval.Table4(ctx, env, opt)
 		if err != nil {
 			return err
 		}
@@ -141,7 +226,7 @@ func cmdTable(args []string, all bool) error {
 		return err
 	}
 	if err := run(5, func() error {
-		rows, err := eval.Table5(env, opt)
+		rows, err := eval.Table5(ctx, env, opt)
 		if err != nil {
 			return err
 		}
@@ -150,7 +235,7 @@ func cmdTable(args []string, all bool) error {
 		return err
 	}
 	if err := run(6, func() error {
-		rows, err := eval.Table6(env, opt)
+		rows, err := eval.Table6(ctx, env, opt)
 		if err != nil {
 			return err
 		}
@@ -159,7 +244,7 @@ func cmdTable(args []string, all bool) error {
 		return err
 	}
 	if err := run(7, func() error {
-		rows, err := eval.Table7(env, opt)
+		rows, err := eval.Table7(ctx, env, opt)
 		if err != nil {
 			return err
 		}
@@ -171,7 +256,7 @@ func cmdTable(args []string, all bool) error {
 		return err
 	}
 	if err := run(9, func() error {
-		rows, err := eval.Table9(env, opt)
+		rows, err := eval.Table9(ctx, env, opt)
 		if err != nil {
 			return err
 		}
@@ -179,7 +264,7 @@ func cmdTable(args []string, all bool) error {
 	}); err != nil {
 		return err
 	}
-	return nil
+	return finish()
 }
 
 func cmdExport(args []string) error {
@@ -230,13 +315,41 @@ func cmdCPUBench(args []string) error {
 	dir := fs.String("dir", "", "directory of .mtx / .mtx.gz files (required)")
 	trials := fs.Int("trials", 5, "SpMV repetitions per kernel")
 	clusters := fs.Int("clusters", 40, "number of K-Means clusters")
+	quick := fs.Bool("quick", false, "fewer trials and clusters for a fast smoke run")
+	obsAddr := fs.String("obs", "", "enable instrumentation and serve expvar+pprof on this address (:0 picks a port)")
+	reportPath := fs.String("report", obs.DefaultReportPath, "run-report path (used with -obs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dir == "" {
 		return fmt.Errorf("cpubench: -dir is required")
 	}
-	entries, err := os.ReadDir(*dir)
+	if *quick {
+		// Explicit -trials / -clusters win over the quick defaults.
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["trials"] {
+			*trials = 2
+		}
+		if !set["clusters"] {
+			*clusters = 8
+		}
+	}
+	finish, err := startObs("cpubench", args, *obsAddr, *reportPath)
+	if err != nil {
+		return err
+	}
+	ctx, span := obs.Start(context.Background(), "cpubench")
+	err = runCPUBench(ctx, *dir, *trials, *clusters)
+	span.End()
+	if err != nil {
+		return err
+	}
+	return finish()
+}
+
+func runCPUBench(ctx context.Context, dirPath string, trials, clusters int) error {
+	entries, err := os.ReadDir(dirPath)
 	if err != nil {
 		return err
 	}
@@ -247,7 +360,7 @@ func cmdCPUBench(args []string) error {
 		if !strings.HasSuffix(name, ".mtx") && !strings.HasSuffix(name, ".mtx.gz") {
 			continue
 		}
-		m, err := sparse.ReadMatrixMarketFile(filepath.Join(*dir, name))
+		m, err := sparse.ReadMatrixMarketFile(filepath.Join(dirPath, name))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "skipping %s: %v\n", name, err)
 			continue
@@ -256,11 +369,14 @@ func cmdCPUBench(args []string) error {
 		ms = append(ms, m)
 	}
 	if len(ms) < 10 {
-		return fmt.Errorf("cpubench: only %d readable matrices in %s; need >= 10", len(ms), *dir)
+		return fmt.Errorf("cpubench: only %d readable matrices in %s; need >= 10", len(ms), dirPath)
 	}
 	fmt.Printf("measuring %d matrices x %d formats (%d trials each)...\n",
-		len(ms), sparse.NumKernelFormats, *trials)
-	lab, dropped, err := cpubench.MeasureAll(names, ms, *trials)
+		len(ms), sparse.NumKernelFormats, trials)
+	_, msp := obs.Start(ctx, "measure")
+	lab, dropped, err := cpubench.MeasureAll(names, ms, trials)
+	msp.SetMetric("matrices", float64(len(ms)))
+	msp.End()
 	if err != nil {
 		return err
 	}
@@ -288,7 +404,9 @@ func cmdCPUBench(args []string) error {
 	}
 
 	cut := len(kept) * 7 / 10
-	sel, err := core.TrainSelector(kept[:cut], best[:cut], core.Options{NumClusters: *clusters, Seed: 1})
+	_, tsp := obs.Start(ctx, "train")
+	sel, err := core.TrainSelector(kept[:cut], best[:cut], core.Options{NumClusters: clusters, Seed: 1})
+	tsp.End()
 	if err != nil {
 		return err
 	}
@@ -369,4 +487,31 @@ func cmdPredict(args []string) error {
 	fmt.Printf("explanation: %s\n", e)
 	fmt.Printf("features: %s\n", e.Features)
 	return nil
+}
+
+// cmdReport prints the run report written by an earlier instrumented
+// (-obs) run: JSON by default, or the span tree as text with -text.
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	in := fs.String("in", obs.DefaultReportPath, "run-report file to read")
+	text := fs.Bool("text", false, "render the span tree as text instead of JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r, err := obs.ReadReport(*in)
+	if err != nil {
+		return err
+	}
+	if *text {
+		fmt.Printf("spmvselect %s %s (%v, go %s %s/%s, %d cpu)\n",
+			r.Command, strings.Join(r.Args, " "),
+			r.Duration.Round(time.Millisecond), r.GoVersion, r.GOOS, r.GOARCH, r.NumCPU)
+		return obs.WriteTree(os.Stdout, r.Spans)
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(append(data, '\n'))
+	return err
 }

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestCmdExportWritesReadableMatrices(t *testing.T) {
@@ -92,5 +94,69 @@ func TestCmdCPUBench(t *testing.T) {
 	}
 	if err := cmdCPUBench([]string{"-dir", t.TempDir()}); err == nil {
 		t.Error("empty directory accepted")
+	}
+}
+
+// TestCmdObsReportRoundTrip exercises the -obs flag end-to-end on the
+// cheapest instrumented command (table -n 1 binds the debug server,
+// installs the sink and writes a report without building a corpus),
+// then reads the report back through the report subcommand.
+func TestCmdObsReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := cmdTable([]string{"-n", "1", "-obs", "127.0.0.1:0", "-report", path}, false); err != nil {
+		t.Fatal(err)
+	}
+	if obs.Enabled() {
+		t.Error("observability still enabled after the run finished")
+	}
+	r, err := obs.ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Command != "table" {
+		t.Errorf("report command = %q, want table", r.Command)
+	}
+	if err := cmdReport([]string{"-in", path}); err != nil {
+		t.Errorf("report: %v", err)
+	}
+	if err := cmdReport([]string{"-in", path, "-text"}); err != nil {
+		t.Errorf("report -text: %v", err)
+	}
+	if err := cmdReport([]string{"-in", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Error("missing report file accepted")
+	}
+}
+
+// TestCmdCPUBenchQuickObs runs the measured CPU pipeline with -quick
+// and -obs and checks the run report carries the per-stage spans and
+// kernel-throughput histograms the acceptance criteria name.
+func TestCmdCPUBenchQuickObs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cpubench measures real kernels")
+	}
+	dir := t.TempDir()
+	if err := cmdExport([]string{"-dir", dir, "-count", "24", "-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := cmdCPUBench([]string{"-dir", dir, "-quick", "-obs", "127.0.0.1:0", "-report", path}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := obs.ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FindSpan("cpubench/measure") == nil {
+		t.Error("report has no cpubench/measure span")
+	}
+	if r.FindSpan("cpubench/train") == nil {
+		t.Error("report has no cpubench/train span")
+	}
+	h, ok := r.Metrics.Histograms["spmv/CSR/rows_per_s"]
+	if !ok || h.Count == 0 {
+		t.Errorf("report has no CSR kernel-throughput samples: %+v", h)
+	}
+	if r.Metrics.Counters["cpubench/measured"] == 0 {
+		t.Error("cpubench/measured counter is zero")
 	}
 }

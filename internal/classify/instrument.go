@@ -1,0 +1,52 @@
+package classify
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Timed wraps a Classifier so every Fit and Predict feeds the metrics
+// registry:
+//
+//	classify/<name>/fits         counter
+//	classify/<name>/fit_seconds  histogram
+//	classify/<name>/predictions  counter
+//
+// Histograms rather than spans, because the evaluation harness trains
+// each model dozens of times inside cross-validation sweeps; the eval
+// layer opens one span per model family and the per-Fit distribution
+// lives here.
+type Timed struct {
+	// Name labels the metrics ("RF", "CNN", ...).
+	Name string
+	// Model is the wrapped classifier.
+	Model Classifier
+}
+
+// NewTimed wraps model under name.
+func NewTimed(name string, model Classifier) *Timed {
+	return &Timed{Name: name, Model: model}
+}
+
+// Fit trains the wrapped model, recording the wall time.
+func (t *Timed) Fit(x [][]float64, y []int, classes int) error {
+	start := obs.Now()
+	err := t.Model.Fit(x, y, classes)
+	if !start.IsZero() {
+		obs.Default.Counter("classify/" + t.Name + "/fits").Inc()
+		obs.Default.Histogram("classify/"+t.Name+"/fit_seconds", obs.DurationBuckets).
+			Observe(time.Since(start).Seconds())
+	}
+	return err
+}
+
+// Predict classifies one vector, counting the call.
+func (t *Timed) Predict(x []float64) int {
+	if obs.Enabled() {
+		obs.Default.Counter("classify/" + t.Name + "/predictions").Inc()
+	}
+	return t.Model.Predict(x)
+}
+
+var _ Classifier = (*Timed)(nil)

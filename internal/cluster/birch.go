@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
 
 // Birch builds a CF-tree (Zhang, Ramakrishnan & Livny, SIGMOD 1996) in
@@ -160,6 +161,11 @@ func (b *Birch) Fit(points [][]float64) error {
 	b.labels = make([]int, len(points))
 	assignParallel(points, b.centroids, b.labels)
 	b.fitted = true
+	observeFit("birch", len(points), 0)
+	if obs.Enabled() {
+		obs.Default.Histogram("cluster/birch/leaf_entries", obs.CountBuckets).
+			Observe(float64(b.leaves))
+	}
 	return nil
 }
 

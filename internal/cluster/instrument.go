@@ -1,0 +1,22 @@
+package cluster
+
+import "repro/internal/obs"
+
+// observeFit records one completed clustering fit under
+//
+//	cluster/<algo>/fits        counter
+//	cluster/<algo>/points      histogram, training-set size
+//	cluster/<algo>/iterations  histogram, iterations to convergence
+//
+// iters <= 0 means the algorithm has no iteration notion (or it is not
+// meaningful for this fit) and the iteration histogram is skipped.
+func observeFit(algo string, points, iters int) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.Default.Counter("cluster/" + algo + "/fits").Inc()
+	obs.Default.Histogram("cluster/"+algo+"/points", obs.SizeBuckets).Observe(float64(points))
+	if iters > 0 {
+		obs.Default.Histogram("cluster/"+algo+"/iterations", obs.CountBuckets).Observe(float64(iters))
+	}
+}

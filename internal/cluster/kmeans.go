@@ -3,10 +3,9 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
 
 // KMeans is Lloyd's algorithm with k-means++ seeding. Point-to-centroid
@@ -27,6 +26,7 @@ type KMeans struct {
 	centroids [][]float64
 	labels    []int
 	inertia   float64
+	iters     int
 	fitted    bool
 }
 
@@ -62,6 +62,7 @@ func (m *KMeans) Fit(points [][]float64) error {
 
 	d := len(points[0])
 	for iter := 0; iter < m.MaxIter; iter++ {
+		m.iters = iter + 1
 		m.inertia = assignParallel(points, m.centroids, m.labels)
 
 		// Recompute centroids.
@@ -113,6 +114,7 @@ func (m *KMeans) Fit(points [][]float64) error {
 	}
 	m.inertia = assignParallel(points, m.centroids, m.labels)
 	m.fitted = true
+	observeFit("kmeans", len(points), m.iters)
 	return nil
 }
 
@@ -161,7 +163,7 @@ func kmeansPlusPlus(rng *rand.Rand, points [][]float64, k int) [][]float64 {
 // assignParallel writes the nearest-centroid index of every point into
 // labels and returns the total inertia (sum of squared distances).
 func assignParallel(points [][]float64, centroids [][]float64, labels []int) float64 {
-	workers := runtime.GOMAXPROCS(0)
+	workers := obs.Workers(len(points))
 	if len(points) < 256 || workers <= 1 {
 		total := 0.0
 		for i, p := range points {
@@ -171,31 +173,16 @@ func assignParallel(points [][]float64, centroids [][]float64, labels []int) flo
 		}
 		return total
 	}
-	var wg sync.WaitGroup
 	partial := make([]float64, workers)
-	chunk := (len(points) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(points) {
-			hi = len(points)
+	obs.ParallelChunks(len(points), workers, func(w, lo, hi int) {
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			c, dd := nearestCentroid(centroids, points[i])
+			labels[i] = c
+			sum += dd
 		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			sum := 0.0
-			for i := lo; i < hi; i++ {
-				c, dd := nearestCentroid(centroids, points[i])
-				labels[i] = c
-				sum += dd
-			}
-			partial[w] = sum
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		partial[w] = sum
+	})
 	total := 0.0
 	for _, v := range partial {
 		total += v
@@ -215,6 +202,10 @@ func (m *KMeans) Centroid(c int) []float64 { return m.centroids[c] }
 // Inertia returns the final sum of squared distances to assigned
 // centroids, the K-Means objective value.
 func (m *KMeans) Inertia() float64 { return m.inertia }
+
+// Iterations returns the number of Lloyd iterations the last Fit ran
+// (iterations to convergence, or MaxIter if the tolerance was not hit).
+func (m *KMeans) Iterations() int { return m.iters }
 
 // Assign returns the nearest centroid's index.
 func (m *KMeans) Assign(x []float64) int {

@@ -4,11 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
 
 // MeanShift is flat-kernel mean-shift clustering: every seed climbs to
@@ -90,7 +89,7 @@ func (m *MeanShift) Fit(points [][]float64) error {
 	bw2 := bw * bw
 	modes := make([][]float64, len(seeds))
 	weights := make([]int, len(seeds))
-	parallelRange(len(seeds), func(s int) {
+	obs.ParallelFor(len(seeds), func(s int) {
 		mode := append([]float64(nil), seeds[s]...)
 		next := make([]float64, len(mode))
 		for iter := 0; iter < m.MaxIter; iter++ {
@@ -149,6 +148,11 @@ func (m *MeanShift) Fit(points [][]float64) error {
 	m.labels = make([]int, len(points))
 	assignParallel(points, m.centroids, m.labels)
 	m.fitted = true
+	observeFit("meanshift", len(points), 0)
+	if obs.Enabled() {
+		obs.Default.Histogram("cluster/meanshift/modes", obs.CountBuckets).
+			Observe(float64(len(kept)))
+	}
 	return nil
 }
 
@@ -184,36 +188,6 @@ func estimateBandwidth(points [][]float64, quantile float64, seed int64) float64
 		total += math.Sqrt(d2[k])
 	}
 	return total / float64(len(sample))
-}
-
-// parallelRange runs fn(i) for i in [0, n) on GOMAXPROCS workers.
-func parallelRange(n int, fn func(int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	ch := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		ch <- i
-	}
-	close(ch)
-	wg.Wait()
 }
 
 // NumClusters returns the number of merged modes.

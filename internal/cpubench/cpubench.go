@@ -12,8 +12,8 @@ package cpubench
 import (
 	"fmt"
 	"math"
-	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -95,11 +95,11 @@ func timeKernel(m sparse.Matrix, y, x []float64, trials int) (float64, error) {
 	}
 	best := math.Inf(1)
 	for t := 0; t < trials; t++ {
-		start := time.Now()
+		tm := obs.StartTimer("cpubench/spmv")
 		if err := m.SpMV(y, x); err != nil {
 			return 0, err
 		}
-		if d := time.Since(start).Seconds(); d < best {
+		if d := tm.Stop().Seconds(); d < best {
 			best = d
 		}
 	}
@@ -127,6 +127,12 @@ func MeasureAll(names []string, ms []*sparse.CSR, trials int) (Labeled, int, err
 		r, err := Measure(m, trials)
 		if err != nil {
 			return Labeled{}, 0, err
+		}
+		if obs.Enabled() {
+			obs.Default.Counter("cpubench/measured").Inc()
+			if !r.Feasible() {
+				obs.Default.Counter("cpubench/dropped").Inc()
+			}
 		}
 		if !r.Feasible() {
 			dropped++

@@ -1,13 +1,13 @@
 package dataset
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/features"
 	"repro/internal/gpusim"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -173,19 +173,25 @@ type Corpus struct {
 
 // Build extracts features and profiles for every item in parallel and
 // simulates the benchmark on every architecture, producing the labelled
-// per-architecture datasets.
-func Build(items []Item, archs []gpusim.Arch) *Corpus {
+// per-architecture datasets. The ctx parents the obs spans of the two
+// stages ("features", "label/<arch>"); pass context.Background() when
+// not tracing.
+func Build(ctx context.Context, items []Item, archs []gpusim.Arch) *Corpus {
 	c := &Corpus{
 		Items:    items,
 		Feats:    make([][]float64, len(items)),
 		Profiles: make([]gpusim.Profile, len(items)),
 		PerArch:  make(map[string]*ArchData, len(archs)),
 	}
-	parallelFor(len(items), func(i int) {
+	_, sp := obs.Start(ctx, "features")
+	obs.ParallelFor(len(items), func(i int) {
 		c.Feats[i] = features.Extract(items[i].Matrix).Slice()
 		c.Profiles[i] = gpusim.NewProfile(items[i].Matrix)
 	})
+	sp.SetMetric("items", float64(len(items)))
+	sp.End()
 	for _, a := range archs {
+		_, sp := obs.Start(ctx, "label/"+a.Name)
 		d := &ArchData{Arch: a}
 		for i, it := range items {
 			m := a.Measure(it.Name, c.Profiles[i])
@@ -201,6 +207,8 @@ func Build(items []Item, archs []gpusim.Arch) *Corpus {
 			d.Labels = append(d.Labels, m.Best)
 		}
 		c.PerArch[a.Name] = d
+		sp.SetMetric("feasible", float64(len(d.Index)))
+		sp.End()
 	}
 	return c
 }
@@ -252,34 +260,4 @@ func (c *Corpus) CommonSubset(archs []gpusim.Arch) (map[string]*ArchData, error)
 		out[a.Name] = sub
 	}
 	return out, nil
-}
-
-// parallelFor runs fn(i) for i in [0, n) on GOMAXPROCS workers.
-func parallelFor(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 }

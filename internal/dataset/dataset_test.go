@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -156,7 +157,7 @@ func TestBuildCorpus(t *testing.T) {
 		t.Fatal(err)
 	}
 	archs := gpusim.Archs()
-	c := Build(items, archs)
+	c := Build(context.Background(), items, archs)
 	if len(c.Feats) != len(items) || len(c.Profiles) != len(items) {
 		t.Fatal("corpus arrays not aligned with items")
 	}
@@ -207,7 +208,7 @@ func TestCommonSubsetAligned(t *testing.T) {
 		t.Fatal(err)
 	}
 	archs := gpusim.Archs()
-	c := Build(items, archs)
+	c := Build(context.Background(), items, archs)
 	sub, err := c.CommonSubset(archs)
 	if err != nil {
 		t.Fatal(err)
@@ -259,7 +260,7 @@ func TestLabelDistributionShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := Build(items, gpusim.Archs())
+	c := Build(context.Background(), items, gpusim.Archs())
 	for _, a := range gpusim.Archs() {
 		d := c.PerArch[a.Name]
 		counts := d.ClassCounts()

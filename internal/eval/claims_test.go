@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -23,11 +24,11 @@ func TestPaperHeadlineClaims(t *testing.T) {
 	opt.NCSweep = []int{24, 48}
 
 	// Claim 1: local parity.
-	t4, err := Table4(env, opt)
+	t4, err := Table4(context.Background(), env, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t6, err := Table6(env, opt)
+	t6, err := Table6(context.Background(), env, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,11 +52,11 @@ func TestPaperHeadlineClaims(t *testing.T) {
 
 	// Claims 2 and 3: transfer behaviour.
 	opt.Folds = 2
-	t5, err := Table5(env, opt)
+	t5, err := Table5(context.Background(), env, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t7, err := Table7(env, opt)
+	t7, err := Table7(context.Background(), env, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

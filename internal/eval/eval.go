@@ -5,12 +5,14 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/classify"
 	"repro/internal/dataset"
 	"repro/internal/gpusim"
+	"repro/internal/obs"
 )
 
 // Options configures the experiment scale.
@@ -70,22 +72,32 @@ type Env struct {
 }
 
 // NewEnv generates the collection and simulates the benchmark on every
-// architecture.
-func NewEnv(opt Options) (*Env, error) {
+// architecture. The ctx parents the obs spans of the corpus stages; pass
+// context.Background() when not tracing.
+func NewEnv(ctx context.Context, opt Options) (*Env, error) {
+	ctx, span := obs.Start(ctx, "corpus")
+	defer span.End()
+	_, gsp := obs.Start(ctx, "generate")
 	items, err := dataset.Generate(opt.Dataset)
+	gsp.SetMetric("items", float64(len(items)))
+	gsp.End()
 	if err != nil {
 		return nil, fmt.Errorf("eval: generating collection: %w", err)
 	}
 	archs := gpusim.Archs()
-	corpus := dataset.Build(items, archs)
+	corpus := dataset.Build(ctx, items, archs)
+	_, csp := obs.Start(ctx, "common")
 	common, err := corpus.CommonSubset(archs)
+	csp.End()
 	if err != nil {
 		return nil, fmt.Errorf("eval: common subset: %w", err)
 	}
+	_, isp := obs.Start(ctx, "images")
 	images := make([][]float64, len(items))
 	for i, it := range items {
 		images[i] = classify.DensityImage(it.Matrix)
 	}
+	isp.End()
 	return &Env{Corpus: corpus, Archs: archs, Common: common, Images: images}, nil
 }
 

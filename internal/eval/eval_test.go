@@ -2,6 +2,7 @@ package eval
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -15,7 +16,7 @@ var sharedEnv *Env
 func getEnv(t *testing.T) *Env {
 	t.Helper()
 	if sharedEnv == nil {
-		env, err := NewEnv(QuickOptions())
+		env, err := NewEnv(context.Background(), QuickOptions())
 		if err != nil {
 			t.Fatalf("NewEnv: %v", err)
 		}
@@ -119,7 +120,7 @@ func TestTable4QuickRun(t *testing.T) {
 	// Restrict to one architecture's worth of work by reusing the env but
 	// trimming the sweep for speed.
 	opt.NCSweep = []int{16}
-	rows, err := Table4(env, opt)
+	rows, err := Table4(context.Background(), env, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestTable5QuickRun(t *testing.T) {
 	env := getEnv(t)
 	opt := QuickOptions()
 	opt.Folds = 2
-	rows, err := Table5(env, opt)
+	rows, err := Table5(context.Background(), env, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestTable5QuickRun(t *testing.T) {
 func TestTable6QuickRun(t *testing.T) {
 	env := getEnv(t)
 	opt := QuickOptions()
-	rows, err := Table6(env, opt)
+	rows, err := Table6(context.Background(), env, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestTable7QuickRun(t *testing.T) {
 	env := getEnv(t)
 	opt := QuickOptions()
 	opt.Folds = 2
-	rows, err := Table7(env, opt)
+	rows, err := Table7(context.Background(), env, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +274,7 @@ func TestTable9(t *testing.T) {
 	env := getEnv(t)
 	opt := QuickOptions()
 	opt.CNNEpochs = 1
-	rows, err := Table9(env, opt)
+	rows, err := Table9(context.Background(), env, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,13 +1,14 @@
 package eval
 
 import (
+	"context"
 	"fmt"
-	"time"
 
 	"repro/internal/classify"
 	"repro/internal/dataset"
 	"repro/internal/gpusim"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/semisup"
 	"repro/internal/sparse"
 )
@@ -112,9 +113,10 @@ type Table4Row struct {
 
 // Table4 cross-validates all nine combos on each architecture, sweeping
 // NC for the K-driven algorithms and reporting the best-MCC setting.
-func Table4(env *Env, opt Options) ([]Table4Row, error) {
+func Table4(ctx context.Context, env *Env, opt Options) ([]Table4Row, error) {
 	var rows []Table4Row
 	for _, a := range env.Archs {
+		ctx, asp := obs.Start(ctx, "arch/"+a.Name)
 		d := env.Corpus.PerArch[a.Name]
 		for _, combo := range Combos() {
 			sweep := opt.NCSweep
@@ -123,7 +125,7 @@ func Table4(env *Env, opt Options) ([]Table4Row, error) {
 			}
 			best := Table4Row{Arch: a.Name, Algo: combo.Name(), M: Metrics{MCC: -2}}
 			for _, nc := range sweep {
-				m, avgNC, err := cvSemi(d, combo, nc, opt)
+				m, avgNC, err := cvSemi(ctx, d, combo, nc, opt)
 				if err != nil {
 					return nil, fmt.Errorf("eval: Table4 %s/%s: %w", a.Name, combo.Name(), err)
 				}
@@ -134,13 +136,16 @@ func Table4(env *Env, opt Options) ([]Table4Row, error) {
 			}
 			rows = append(rows, best)
 		}
+		asp.End()
 	}
 	return rows, nil
 }
 
 // cvSemi cross-validates one combo at one NC on one architecture's data,
 // returning mean metrics and the mean cluster count.
-func cvSemi(d *dataset.ArchData, combo Combo, nc int, opt Options) (Metrics, int, error) {
+func cvSemi(ctx context.Context, d *dataset.ArchData, combo Combo, nc int, opt Options) (Metrics, int, error) {
+	ctx, span := obs.Start(ctx, "cv/"+combo.Name())
+	defer span.End()
 	folds := StratifiedFolds(d.Labels, opt.Folds, opt.Seed)
 	var truth, pred []int
 	ncSum := 0
@@ -152,7 +157,7 @@ func cvSemi(d *dataset.ArchData, combo Combo, nc int, opt Options) (Metrics, int
 			NumClusters: nc,
 			Seed:        opt.Seed + int64(f),
 		}
-		m, err := semisup.Train(gather(d.Feats, train), gatherInts(d.Labels, train),
+		m, err := semisup.TrainCtx(ctx, gather(d.Feats, train), gatherInts(d.Labels, train),
 			sparse.NumKernelFormats, cfg)
 		if err != nil {
 			return Metrics{}, 0, err
@@ -197,11 +202,12 @@ func TransferPairs(archs []gpusim.Arch) [][2]gpusim.Arch {
 // Table5 evaluates all combos on every transfer pair over the common
 // subset: the model is trained with source labels, then incrementally
 // relabelled with growing fractions of target labels.
-func Table5(env *Env, opt Options) ([]Table5Row, error) {
+func Table5(ctx context.Context, env *Env, opt Options) ([]Table5Row, error) {
 	var rows []Table5Row
 	for _, pair := range TransferPairs(env.Archs) {
 		src := env.Common[pair[0].Name]
 		tgt := env.Common[pair[1].Name]
+		ctx, psp := obs.Start(ctx, fmt.Sprintf("pair/%s-%s", pair[0].Name, pair[1].Name))
 		for _, combo := range Combos() {
 			row := Table5Row{
 				Pair: fmt.Sprintf("%s to %s", pair[0].Name, pair[1].Name),
@@ -220,7 +226,7 @@ func Table5(env *Env, opt Options) ([]Table5Row, error) {
 					Seed:        opt.Seed + int64(f),
 				}
 				// Train with SOURCE labels: the portable model.
-				m, err := semisup.Train(gather(src.Feats, train), gatherInts(src.Labels, train),
+				m, err := semisup.TrainCtx(ctx, gather(src.Feats, train), gatherInts(src.Labels, train),
 					sparse.NumKernelFormats, cfg)
 				if err != nil {
 					return nil, fmt.Errorf("eval: Table5 %s/%s: %w", row.Pair, combo.Name(), err)
@@ -253,6 +259,7 @@ func Table5(env *Env, opt Options) ([]Table5Row, error) {
 			}
 			rows = append(rows, row)
 		}
+		psp.End()
 	}
 	return rows, nil
 }
@@ -287,19 +294,23 @@ type Table6Row struct {
 
 // Table6 cross-validates the supervised baselines (plus the CNN) on
 // each architecture.
-func Table6(env *Env, opt Options) ([]Table6Row, error) {
+func Table6(ctx context.Context, env *Env, opt Options) ([]Table6Row, error) {
 	var rows []Table6Row
 	for _, a := range env.Archs {
+		ctx, asp := obs.Start(ctx, "arch/"+a.Name)
 		d := env.Corpus.PerArch[a.Name]
 		feats, err := scaledFeatures(d)
 		if err != nil {
+			asp.End()
 			return nil, err
 		}
 		images := env.ImagesFor(d)
 		models := SupervisedModels(opt.Seed)
 		for _, spec := range models {
-			m, err := cvSupervised(d, feats, func() classify.Classifier { return spec.Build() }, opt)
+			m, err := cvSupervised(ctx, d, feats, spec.Name,
+				func() classify.Classifier { return spec.Build() }, opt)
 			if err != nil {
+				asp.End()
 				return nil, fmt.Errorf("eval: Table6 %s/%s: %w", a.Name, spec.Name, err)
 			}
 			rows = append(rows, Table6Row{Arch: a.Name, Model: spec.Name, M: m})
@@ -310,11 +321,13 @@ func Table6(env *Env, opt Options) ([]Table6Row, error) {
 			c.Epochs = opt.CNNEpochs
 			return c
 		}
-		m, err := cvSupervised(d, images, cnnBuild, opt)
+		m, err := cvSupervised(ctx, d, images, "CNN", cnnBuild, opt)
 		if err != nil {
+			asp.End()
 			return nil, fmt.Errorf("eval: Table6 %s/CNN: %w", a.Name, err)
 		}
 		rows = append(rows, Table6Row{Arch: a.Name, Model: "CNN", M: m})
+		asp.End()
 	}
 	return rows, nil
 }
@@ -336,14 +349,17 @@ func scaledFeatures(d *dataset.ArchData) ([][]float64, error) {
 }
 
 // cvSupervised cross-validates one model family over the rows of d using
-// the supplied feature representation.
-func cvSupervised(d *dataset.ArchData, feats [][]float64, build func() classify.Classifier, opt Options) (SupMetrics, error) {
+// the supplied feature representation. One span covers the whole CV of
+// the family; per-Fit wall times go to classify.Timed's histograms.
+func cvSupervised(ctx context.Context, d *dataset.ArchData, feats [][]float64, name string, build func() classify.Classifier, opt Options) (SupMetrics, error) {
+	_, span := obs.Start(ctx, "train/"+name)
+	defer span.End()
 	folds := StratifiedFolds(d.Labels, opt.Folds, opt.Seed)
 	var truth, pred []int
 	var times [][]float64
 	for _, test := range folds {
 		train := trainTestSplit(d.Len(), test)
-		clf := build()
+		clf := classify.NewTimed(name, build())
 		if err := clf.Fit(gather(feats, train), gatherInts(d.Labels, train), sparse.NumKernelFormats); err != nil {
 			return SupMetrics{}, err
 		}
@@ -396,7 +412,7 @@ func Table7Pairs(archs []gpusim.Arch) [][2]gpusim.Arch {
 // Table7 evaluates the supervised baselines in the transfer setting:
 // models are trained on source labels, with a fraction of the training
 // matrices relabelled by target benchmarking.
-func Table7(env *Env, opt Options) ([]Table7Row, error) {
+func Table7(ctx context.Context, env *Env, opt Options) ([]Table7Row, error) {
 	var rows []Table7Row
 	for _, pair := range Table7Pairs(env.Archs) {
 		src := env.Common[pair[0].Name]
@@ -410,6 +426,7 @@ func Table7(env *Env, opt Options) ([]Table7Row, error) {
 				Pair:  fmt.Sprintf("%s to %s", pair[0].Name, pair[1].Name),
 				Model: spec.Name,
 			}
+			_, msp := obs.Start(ctx, fmt.Sprintf("pair/%s-%s/%s", pair[0].Name, pair[1].Name, spec.Name))
 			folds := StratifiedFolds(tgt.Labels, opt.Folds, opt.Seed)
 			var truth [3][]int
 			var pred [3][]int
@@ -424,8 +441,9 @@ func Table7(env *Env, opt Options) ([]Table7Row, error) {
 					for k := 0; k < take; k++ {
 						y[k] = tgt.Labels[train[k]]
 					}
-					clf := spec.Build()
+					clf := classify.NewTimed(spec.Name, spec.Build())
 					if err := clf.Fit(gather(feats, train), y, sparse.NumKernelFormats); err != nil {
+						msp.End()
 						return nil, fmt.Errorf("eval: Table7 %s/%s: %w", row.Pair, spec.Name, err)
 					}
 					for _, i := range test {
@@ -435,6 +453,7 @@ func Table7(env *Env, opt Options) ([]Table7Row, error) {
 					}
 				}
 			}
+			msp.End()
 			for fi := range RetrainFractions {
 				m, err := supMetrics(truth[fi], pred[fi], times[fi])
 				if err != nil {
@@ -494,7 +513,7 @@ type Table9Row struct {
 // additional transfer data). Absolute values are hardware and
 // implementation specific — the paper says the same — but the ordering
 // (CNN >> classical >> K-Means labelling) is the reproducible claim.
-func Table9(env *Env, opt Options) ([]Table9Row, error) {
+func Table9(ctx context.Context, env *Env, opt Options) ([]Table9Row, error) {
 	d := env.Common[env.Archs[0].Name]
 	feats, err := scaledFeatures(d)
 	if err != nil {
@@ -518,30 +537,36 @@ func Table9(env *Env, opt Options) ([]Table9Row, error) {
 	var rows []Table9Row
 	for _, spec := range SupervisedModels(opt.Seed) {
 		row := Table9Row{Model: spec.Name}
+		_, msp := obs.Start(ctx, "train/"+spec.Name)
 		for si, size := range sizes {
 			x, y := makeSet(feats, size)
 			clf := spec.Build()
-			start := time.Now()
+			t := obs.StartTimer("train/" + spec.Name)
 			if err := clf.Fit(x, y, sparse.NumKernelFormats); err != nil {
+				msp.End()
 				return nil, fmt.Errorf("eval: Table9 %s: %w", spec.Name, err)
 			}
-			row.Secs[si] = time.Since(start).Seconds()
+			row.Secs[si] = t.Stop().Seconds()
 		}
+		msp.End()
 		rows = append(rows, row)
 	}
 	// CNN.
 	{
 		row := Table9Row{Model: "CNN"}
+		_, msp := obs.Start(ctx, "train/CNN")
 		for si, size := range sizes {
 			x, y := makeSet(images, size)
 			c := classify.NewCNN(opt.Seed)
 			c.Epochs = opt.CNNEpochs
-			start := time.Now()
+			t := obs.StartTimer("train/CNN")
 			if err := c.Fit(x, y, sparse.NumKernelFormats); err != nil {
+				msp.End()
 				return nil, fmt.Errorf("eval: Table9 CNN: %w", err)
 			}
-			row.Secs[si] = time.Since(start).Seconds()
+			row.Secs[si] = t.Stop().Seconds()
 		}
+		msp.End()
 		rows = append(rows, row)
 	}
 	// Semi-supervised variants: the transfer-time cost is clustering once
@@ -550,16 +575,19 @@ func Table9(env *Env, opt Options) ([]Table9Row, error) {
 	for _, rule := range []semisup.Rule{semisup.RuleVote, semisup.RuleLR, semisup.RuleRF} {
 		row := Table9Row{Model: "K-Means-" + map[semisup.Rule]string{
 			semisup.RuleVote: "VOTE", semisup.RuleLR: "LR", semisup.RuleRF: "RF"}[rule]}
+		mctx, msp := obs.Start(ctx, "train/"+row.Model)
 		for si, size := range sizes {
 			x, y := makeSet(d.Feats, size)
 			cfg := semisup.Config{Algorithm: semisup.AlgoKMeans, Rule: rule,
 				NumClusters: opt.TransferNC, Seed: opt.Seed}
-			start := time.Now()
-			if _, err := semisup.Train(x, y, sparse.NumKernelFormats, cfg); err != nil {
+			t := obs.StartTimer("train/" + row.Model)
+			if _, err := semisup.TrainCtx(mctx, x, y, sparse.NumKernelFormats, cfg); err != nil {
+				msp.End()
 				return nil, fmt.Errorf("eval: Table9 %s: %w", row.Model, err)
 			}
-			row.Secs[si] = time.Since(start).Seconds()
+			row.Secs[si] = t.Stop().Seconds()
 		}
+		msp.End()
 		rows = append(rows, row)
 	}
 	return rows, nil

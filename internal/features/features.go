@@ -9,7 +9,9 @@ package features
 import (
 	"fmt"
 	"math"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -57,8 +59,22 @@ const (
 // feature (rows processed by one warp in the scalar CSR kernel).
 const warpSize = 32
 
+// Extraction metrics, recorded when an obs sink is registered:
+// extractions performed, and the wall time per call.
+var (
+	extractCalls   = obs.Default.Counter("features/extractions")
+	extractSeconds = obs.Default.Histogram("features/extract/seconds", obs.DurationBuckets)
+)
+
 // Extract computes the feature vector for a matrix.
 func Extract(m *sparse.CSR) Vector {
+	start := obs.Now()
+	defer func() {
+		if !start.IsZero() {
+			extractCalls.Inc()
+			extractSeconds.Observe(time.Since(start).Seconds())
+		}
+	}()
 	var f Vector
 	rows, cols := m.Dims()
 	nnz := m.NNZ()

@@ -4,6 +4,7 @@ import (
 	"hash/fnv"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -39,6 +40,14 @@ func (m Measurement) BestFormat() (sparse.Format, bool) {
 // is why the per-GPU totals in Table 3 differ).
 func (m Measurement) Feasible() bool { return m.OK }
 
+// Benchmark-runner progress counters, live on /debug/vars while a long
+// corpus labelling runs: matrices measured, and how many fell outside
+// the architecture's feasibility window.
+var (
+	measureCount    = obs.Default.Counter("gpusim/measurements")
+	infeasibleCount = obs.Default.Counter("gpusim/infeasible")
+)
+
 // Measure simulates benchmarking one matrix on the architecture: it
 // evaluates the kernel model for each format and applies a small
 // deterministic pseudo-random noise keyed on (id, format, architecture),
@@ -63,6 +72,12 @@ func (a Arch) Measure(id string, p Profile) Measurement {
 		if t < best {
 			best = t
 			m.Best = i
+		}
+	}
+	if obs.Enabled() {
+		measureCount.Inc()
+		if !m.OK {
+			infeasibleCount.Inc()
 		}
 	}
 	return m

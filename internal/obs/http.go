@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// publishOnce guards the expvar registration: expvar.Publish panics on
+// duplicate names, and Serve may be called more than once per process
+// (tests, repeated subcommands).
+var publishOnce sync.Once
+
+// Serve starts a debug HTTP server on addr (":6060", ":0" for an
+// ephemeral port) exposing
+//
+//	/debug/vars         expvar, including the default registry under "spmvselect_obs"
+//	/debug/pprof/...    net/http/pprof profiles (heap, cpu, trace, ...)
+//
+// It returns the bound address and a stop function. The server uses its
+// own mux, so nothing leaks onto http.DefaultServeMux.
+func Serve(addr string) (bound string, stop func() error, err error) {
+	publishOnce.Do(func() {
+		expvar.Publish("spmvselect_obs", expvar.Func(func() any {
+			return Default.Snapshot()
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// Serve returns ErrServerClosed on Close; nothing to report.
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,377 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a goroutine-safe collection of named counters, gauges and
+// histograms. Instruments are get-or-create: the first caller of a name
+// determines the instrument (and, for histograms, its buckets).
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// Default is the process-wide registry used by all instrumentation in
+// this repository and published on the expvar endpoint.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds if needed (bounds must be sorted ascending; they
+// are ignored when the histogram already exists).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset drops every instrument. Intended for tests.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	r.counters = map[string]*Counter{}
+	r.gauges = map[string]*Gauge{}
+	r.hists = map[string]*Histogram{}
+	r.mu.Unlock()
+}
+
+// Snapshot returns a consistent-enough copy of every instrument's state
+// (each instrument is read atomically; the set is read under the
+// registry lock). The result is JSON-serialisable.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range r.hists {
+		s.Histograms[n] = h.Snapshot()
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Instruments.
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic float64 value that can be set or adjusted.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d (CAS loop; safe under concurrency).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram: bucket i counts observations v
+// with bounds[i-1] < v <= bounds[i], plus one overflow bucket. All
+// updates are atomic; Observe never allocates.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1, last is overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if v >= math.Float64frombits(old) || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Snapshot copies the histogram state. Min and Max are zero when the
+// histogram is empty (keeping the snapshot JSON-serialisable: the
+// encoding/json package rejects infinities).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	if s.Count > 0 {
+		s.Min = math.Float64frombits(h.minBits.Load())
+		s.Max = math.Float64frombits(h.maxBits.Load())
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Snapshots.
+
+// HistogramSnapshot is the frozen state of one histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra overflow
+	// bucket at the end.
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) from the buckets,
+// attributing each bucket's mass to its upper bound. It returns Max for
+// the overflow bucket and 0 when the histogram is empty.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.Count)))
+	if target < 1 {
+		target = 1
+	}
+	acc := int64(0)
+	for i, c := range h.Counts {
+		acc += c
+		if acc >= target {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			return h.Max
+		}
+	}
+	return h.Max
+}
+
+// merge adds another snapshot of the same histogram. Bucket counts are
+// only combined when the bounds match; otherwise the receiver's buckets
+// win and only Count/Sum/Min/Max are merged.
+func (h HistogramSnapshot) merge(o HistogramSnapshot) HistogramSnapshot {
+	out := h
+	out.Counts = append([]int64(nil), h.Counts...)
+	if len(h.Bounds) == len(o.Bounds) && len(h.Counts) == len(o.Counts) {
+		same := true
+		for i := range h.Bounds {
+			if h.Bounds[i] != o.Bounds[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			for i := range out.Counts {
+				out.Counts[i] += o.Counts[i]
+			}
+		}
+	}
+	switch {
+	case h.Count == 0:
+		out.Min, out.Max = o.Min, o.Max
+	case o.Count > 0:
+		out.Min = math.Min(h.Min, o.Min)
+		out.Max = math.Max(h.Max, o.Max)
+	}
+	out.Count += o.Count
+	out.Sum += o.Sum
+	return out
+}
+
+// Snapshot is a frozen registry: counters, gauges and histograms by
+// name. It serialises to JSON and merges with other snapshots, the
+// building block for aggregating per-shard or per-run metrics.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Merge returns the combination of two snapshots: counters and
+// histogram counts add, gauges keep the other snapshot's value when it
+// has one (last writer wins, matching gauge semantics).
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)+len(o.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)+len(o.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)+len(o.Histograms)),
+	}
+	for n, v := range s.Counters {
+		out.Counters[n] = v
+	}
+	for n, v := range o.Counters {
+		out.Counters[n] += v
+	}
+	for n, v := range s.Gauges {
+		out.Gauges[n] = v
+	}
+	for n, v := range o.Gauges {
+		out.Gauges[n] = v
+	}
+	for n, h := range s.Histograms {
+		if oh, ok := o.Histograms[n]; ok {
+			out.Histograms[n] = h.merge(oh)
+		} else {
+			out.Histograms[n] = h
+		}
+	}
+	for n, h := range o.Histograms {
+		if _, ok := s.Histograms[n]; !ok {
+			out.Histograms[n] = h
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Bucket helpers.
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at
+// start and multiplying by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets spans 1 microsecond to ~17 minutes in powers of two,
+// the default for latency histograms recorded in seconds.
+var DurationBuckets = ExpBuckets(1e-6, 2, 30)
+
+// RateBuckets spans 1 to ~5*10^11 per second in powers of two, the
+// default for throughput histograms (rows/s, nnz/s).
+var RateBuckets = ExpBuckets(1, 2, 40)
+
+// CountBuckets spans 1 to ~32k in powers of two, the default for small
+// cardinalities such as iteration counts or cluster counts.
+var CountBuckets = ExpBuckets(1, 2, 16)
+
+// SizeBuckets spans 64 bytes to ~64 GiB in powers of four, the default
+// for byte-size histograms.
+var SizeBuckets = ExpBuckets(64, 4, 16)

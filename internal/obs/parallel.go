@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The shared bounded-parallel helpers. Before this package existed the
+// repository carried four near-identical worker pools (meanshift.go,
+// collection.go, and the inline pools in csr.go and kmeans.go); they all
+// route through here now, which also gives the metrics registry a live
+// view of parallel activity:
+//
+//	parallel/regions  counter  parallel sections entered
+//	parallel/workers  gauge    currently active workers across sections
+var (
+	parallelRegions = Default.Counter("parallel/regions")
+	parallelWorkers = Default.Gauge("parallel/workers")
+)
+
+// Workers returns the worker count a parallel helper would use for n
+// items: min(GOMAXPROCS, n), at least 1.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// enterRegion records a region start and returns the matching leave
+// function (both no-ops when disabled).
+func enterRegion(workers int) func() {
+	if !Enabled() {
+		return nil
+	}
+	parallelRegions.Inc()
+	parallelWorkers.Add(float64(workers))
+	return func() { parallelWorkers.Add(-float64(workers)) }
+}
+
+// ParallelFor runs fn(i) for every i in [0, n), distributing iterations
+// dynamically over Workers(n) goroutines. Use it when per-item cost is
+// uneven; the channel hand-off costs ~100ns per item, so items should do
+// at least microseconds of work.
+func ParallelFor(n int, fn func(i int)) {
+	workers := Workers(n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	leave := enterRegion(workers)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if leave != nil {
+		leave()
+	}
+}
+
+// ParallelWorkers runs fn(w) once per worker w in [0, workers)
+// concurrently and waits for all of them. It is the primitive for pools
+// that precompute their own per-worker partition (e.g. CSR's
+// nnz-balanced row chunks).
+func ParallelWorkers(workers int, fn func(w int)) {
+	if workers <= 1 {
+		if workers == 1 {
+			fn(0)
+		}
+		return
+	}
+	leave := enterRegion(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+	if leave != nil {
+		leave()
+	}
+}
+
+// ParallelChunks splits [0, n) into contiguous chunks, one per worker,
+// and runs fn(w, lo, hi) concurrently. Use Workers(n) for the worker
+// count when sizing per-worker scratch space.
+func ParallelChunks(n, workers int, fn func(w, lo, hi int)) {
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	ParallelWorkers(workers, func(w int) {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo < hi {
+			fn(w, lo, hi)
+		}
+	})
+}

@@ -4,8 +4,17 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/preprocess"
 )
+
+// maintCount records one cluster-maintenance action ("relabel", "merge",
+// "split") under semisup/maintain/<op>.
+func maintCount(op string) {
+	if obs.Enabled() {
+		obs.Default.Counter("semisup/maintain/" + op).Inc()
+	}
+}
 
 // Cluster maintenance: the paper argues that a clustering-based model is
 // cheap to keep current because "it is more efficient to merge and split
@@ -37,6 +46,7 @@ func (m *Model) SetClusterLabel(c, label int) error {
 		return fmt.Errorf("semisup: label %d outside [0, %d)", label, m.classes)
 	}
 	m.labels[c] = label
+	maintCount("relabel")
 	return nil
 }
 
@@ -75,6 +85,7 @@ func (m *Model) MergeClusters(a, b int) error {
 	f.Centroids = f.Centroids[:last]
 	m.labels = m.labels[:last]
 	m.memberCount = m.memberCount[:last]
+	maintCount("merge")
 	return nil
 }
 
@@ -146,5 +157,6 @@ func (m *Model) SplitCluster(c int, x [][]float64, y []int) (int, error) {
 	c0 := oldCount * halves[0] / (halves[0] + halves[1])
 	m.memberCount[c] = c0
 	m.memberCount = append(m.memberCount, oldCount-c0)
+	maintCount("split")
 	return len(f.Centroids) - 1, nil
 }

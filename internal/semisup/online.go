@@ -4,7 +4,17 @@ import (
 	"fmt"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/preprocess"
+)
+
+// Online-selector drift metrics. A spawn is the drift event: a matrix
+// landed farther than the spawn radius from every centroid, so the
+// selector opened a cluster for a sparsity pattern it had not seen.
+var (
+	onlineObservations = obs.Default.Counter("semisup/online/observations")
+	onlineLabels       = obs.Default.Counter("semisup/online/labels")
+	onlineSpawns       = obs.Default.Counter("semisup/online/spawns")
 )
 
 // Online is the incremental counterpart of Model, implementing the
@@ -100,8 +110,14 @@ func (o *Online) nearest(p []float64) (int, float64) {
 func (o *Online) Observe(x []float64) int {
 	p := o.pipeline.Transform(x)
 	o.seen++
+	if obs.Enabled() {
+		onlineObservations.Inc()
+	}
 	c, d := o.nearest(p)
 	if c < 0 || (d > o.spawnRadius && len(o.centroids) < o.maxClusters) {
+		if obs.Enabled() {
+			onlineSpawns.Inc()
+		}
 		o.centroids = append(o.centroids, append([]float64(nil), p...))
 		o.counts = append(o.counts, 1)
 		o.hist = append(o.hist, make([]int, o.classes))
@@ -125,6 +141,9 @@ func (o *Online) Record(x []float64, label int) (int, error) {
 	c := o.Observe(x)
 	o.hist[c][label]++
 	o.global[label]++
+	if obs.Enabled() {
+		onlineLabels.Inc()
+	}
 	return c, nil
 }
 

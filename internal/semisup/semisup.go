@@ -23,11 +23,13 @@
 package semisup
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/classify"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/preprocess"
 )
 
@@ -89,6 +91,13 @@ type Model struct {
 // Train fits the full pipeline on raw feature rows x with ground-truth
 // format labels y in [0, classes).
 func Train(x [][]float64, y []int, classes int, cfg Config) (*Model, error) {
+	return TrainCtx(context.Background(), x, y, classes, cfg)
+}
+
+// TrainCtx is Train with a context parenting the obs spans of the three
+// pipeline stages ("semisup/train" with children "preprocess",
+// "cluster/<algo>" and "label/<rule>").
+func TrainCtx(ctx context.Context, x [][]float64, y []int, classes int, cfg Config) (*Model, error) {
 	if len(x) == 0 || len(x) != len(y) {
 		return nil, fmt.Errorf("semisup: bad training input: %d rows, %d labels", len(x), len(y))
 	}
@@ -107,12 +116,18 @@ func Train(x [][]float64, y []int, classes int, cfg Config) (*Model, error) {
 	if cfg.BenchmarkFraction <= 0 || cfg.BenchmarkFraction > 1 {
 		cfg.BenchmarkFraction = 1
 	}
+	ctx, span := obs.Start(ctx, "semisup/train")
+	defer span.End()
+	span.SetMetric("rows", float64(len(x)))
 
+	_, psp := obs.Start(ctx, "preprocess")
 	pipeline, err := preprocess.FitPipeline(x, cfg.Preprocess)
 	if err != nil {
+		psp.End()
 		return nil, fmt.Errorf("semisup: fitting preprocessing: %w", err)
 	}
 	tx := preprocess.Apply(pipeline, x)
+	psp.End()
 
 	var cl cluster.Clusterer
 	switch cfg.Algorithm {
@@ -125,9 +140,16 @@ func Train(x [][]float64, y []int, classes int, cfg Config) (*Model, error) {
 	default:
 		return nil, fmt.Errorf("semisup: unknown clustering algorithm %q", cfg.Algorithm)
 	}
+	_, csp := obs.Start(ctx, "cluster/"+string(cfg.Algorithm))
 	if err := cl.Fit(tx); err != nil {
+		csp.End()
 		return nil, fmt.Errorf("semisup: clustering: %w", err)
 	}
+	csp.SetMetric("clusters", float64(cl.NumClusters()))
+	if km, ok := cl.(*cluster.KMeans); ok {
+		csp.SetMetric("iterations", float64(km.Iterations()))
+	}
+	csp.End()
 
 	m := &Model{
 		cfg:      cfg,
@@ -141,10 +163,13 @@ func Train(x [][]float64, y []int, classes int, cfg Config) (*Model, error) {
 	}
 
 	// Reveal the benchmarked subset and label the clusters.
+	_, lsp := obs.Start(ctx, "label/"+string(cfg.Rule))
 	revealed := m.sampleRevealed(len(x))
 	if err := m.labelClusters(tx, y, cl.Labels(), revealed); err != nil {
+		lsp.End()
 		return nil, err
 	}
+	lsp.End()
 	return m, nil
 }
 
@@ -321,6 +346,9 @@ func (m *Model) Relabel(x [][]float64, y []int) error {
 		if l < 0 {
 			m.labels[c] = old[c]
 		}
+	}
+	if obs.Enabled() {
+		obs.Default.Counter("semisup/relabels").Inc()
 	}
 	return nil
 }

@@ -1,6 +1,10 @@
 package sparse
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // COO is the coordinate format: three parallel arrays of row indices,
 // column indices and values, sorted by row then column. On GPUs the COO
@@ -75,12 +79,14 @@ func (m *COO) SpMV(y, x []float64) error {
 	if err := checkSpMVDims(m, y, x); err != nil {
 		return err
 	}
+	start := obs.Now()
 	for i := range y {
 		y[i] = 0
 	}
 	for k := range m.vals {
 		y[m.rowIdx[k]] += m.vals[k] * x[m.colIdx[k]]
 	}
+	observeKernel(FormatCOO, m.rows, len(m.vals), start)
 	return nil
 }
 

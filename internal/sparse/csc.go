@@ -1,6 +1,10 @@
 package sparse
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // CSC is the compressed sparse column format, CSR's transpose-dual:
 // colPtr[j]..colPtr[j+1] delimit column j's row indices and values. CSC
@@ -54,6 +58,7 @@ func (m *CSC) SpMV(y, x []float64) error {
 	if err := checkSpMVDims(m, y, x); err != nil {
 		return err
 	}
+	start := obs.Now()
 	for i := range y {
 		y[i] = 0
 	}
@@ -66,6 +71,7 @@ func (m *CSC) SpMV(y, x []float64) error {
 			y[m.rowIdx[k]] += m.vals[k] * xv
 		}
 	}
+	observeKernel(FormatCSC, m.rows, len(m.vals), start)
 	return nil
 }
 

@@ -2,8 +2,8 @@ package sparse
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+
+	"repro/internal/obs"
 )
 
 // CSR is the compressed sparse row format: rowPtr[i]..rowPtr[i+1] delimit
@@ -111,7 +111,9 @@ func (m *CSR) SpMV(y, x []float64) error {
 	if err := checkSpMVDims(m, y, x); err != nil {
 		return err
 	}
+	start := obs.Now()
 	m.spmvRange(y, x, 0, m.rows)
+	observeKernel(FormatCSR, m.rows, len(m.vals), start)
 	return nil
 }
 
@@ -134,28 +136,20 @@ func (m *CSR) SpMVParallel(y, x []float64) error {
 	if err := checkSpMVDims(m, y, x); err != nil {
 		return err
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m.rows {
-		workers = m.rows
-	}
+	start := obs.Now()
+	workers := obs.Workers(m.rows)
 	if workers <= 1 || m.NNZ() < 1<<14 {
 		m.spmvRange(y, x, 0, m.rows)
+		observeKernel(FormatCSR, m.rows, len(m.vals), start)
 		return nil
 	}
 	bounds := m.partitionByNNZ(workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := bounds[w], bounds[w+1]
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+	obs.ParallelWorkers(workers, func(w int) {
+		if lo, hi := bounds[w], bounds[w+1]; lo < hi {
 			m.spmvRange(y, x, lo, hi)
-		}()
-	}
-	wg.Wait()
+		}
+	})
+	observeKernel(FormatCSR, m.rows, len(m.vals), start)
 	return nil
 }
 

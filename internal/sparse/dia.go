@@ -1,6 +1,10 @@
 package sparse
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // DIA is the diagonal format: values are stored along occupied diagonals.
 // offsets[d] is the diagonal offset (j - i); vals is a rows x ndiags slab
@@ -91,6 +95,7 @@ func (m *DIA) SpMV(y, x []float64) error {
 	if err := checkSpMVDims(m, y, x); err != nil {
 		return err
 	}
+	start := obs.Now()
 	for i := range y {
 		y[i] = 0
 	}
@@ -110,6 +115,7 @@ func (m *DIA) SpMV(y, x []float64) error {
 			}
 		}
 	}
+	observeKernel(FormatDIA, m.rows, m.nnz, start)
 	return nil
 }
 

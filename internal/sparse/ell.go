@@ -1,6 +1,10 @@
 package sparse
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // ELL is the ELLPACK format: a dense rows x width slab where width is the
 // maximum nonzeros per row, with shorter rows padded. Entries are stored
@@ -88,6 +92,15 @@ func (m *ELL) SpMV(y, x []float64) error {
 	if err := checkSpMVDims(m, y, x); err != nil {
 		return err
 	}
+	start := obs.Now()
+	m.spmvKernel(y, x)
+	observeKernel(FormatELL, m.rows, m.nnz, start)
+	return nil
+}
+
+// spmvKernel is the uninstrumented slab walk, shared with the HYB kernel
+// (which must not record an ELL observation for its ELL part).
+func (m *ELL) spmvKernel(y, x []float64) {
 	for i := range y {
 		y[i] = 0
 	}
@@ -100,7 +113,6 @@ func (m *ELL) SpMV(y, x []float64) error {
 			}
 		}
 	}
-	return nil
 }
 
 // ToCSR converts the matrix back to canonical CSR.

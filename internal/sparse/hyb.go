@@ -1,6 +1,10 @@
 package sparse
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // HYB is the hybrid format: an ELL slab of fixed width holding the
 // "typical" prefix of each row, and a COO tail holding the overflow of
@@ -133,14 +137,14 @@ func (m *HYB) SpMV(y, x []float64) error {
 	if err := checkSpMVDims(m, y, x); err != nil {
 		return err
 	}
-	if err := m.ell.SpMV(y, x); err != nil {
-		return err
-	}
+	start := obs.Now()
+	m.ell.spmvKernel(y, x)
 	if m.coo != nil {
 		for k, v := range m.coo.vals {
 			y[m.coo.rowIdx[k]] += v * x[m.coo.colIdx[k]]
 		}
 	}
+	observeKernel(FormatHYB, m.rows, m.nnz, start)
 	return nil
 }
 

@@ -1,6 +1,10 @@
 package sparse
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/obs"
+)
 
 // JDS is jagged diagonal storage (Saad's SPARSKIT, the paper's reference
 // for classic sparse kernels): rows are sorted by decreasing length and
@@ -80,6 +84,7 @@ func (m *JDS) SpMV(y, x []float64) error {
 	if err := checkSpMVDims(m, y, x); err != nil {
 		return err
 	}
+	start := obs.Now()
 	for i := range y {
 		y[i] = 0
 	}
@@ -90,6 +95,7 @@ func (m *JDS) SpMV(y, x []float64) error {
 			y[row] += m.vals[k] * x[m.colIdx[k]]
 		}
 	}
+	observeKernel(FormatJDS, m.rows, m.nnz, start)
 	return nil
 }
 

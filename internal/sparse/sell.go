@@ -1,6 +1,10 @@
 package sparse
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // SELL is the sliced ELLPACK format (Kreutzer et al., SIAM J. Sci.
 // Comput. 2014, discussed in the paper's related work): rows are
@@ -107,6 +111,7 @@ func (m *SELL) SpMV(y, x []float64) error {
 	if err := checkSpMVDims(m, y, x); err != nil {
 		return err
 	}
+	start := obs.Now()
 	for i := range y {
 		y[i] = 0
 	}
@@ -127,6 +132,7 @@ func (m *SELL) SpMV(y, x []float64) error {
 			}
 		}
 	}
+	observeKernel(FormatSELL, m.rows, m.nnz, start)
 	return nil
 }
 
