@@ -22,6 +22,27 @@ go test -race ./...
 echo '== obs disabled-path overhead (budget: < 2 ns/op, see internal/obs)'
 go test -run - -bench BenchmarkObsOverhead -benchtime 100x . ./internal/obs
 
+echo '== serve smoke test (train -save, serve, request, SIGTERM)'
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+go build -o "$SMOKE/spmvselect" ./cmd/spmvselect
+"$SMOKE/spmvselect" train -save "$SMOKE/model.gob" -quick -clusters 16 >/dev/null
+"$SMOKE/spmvselect" export -dir "$SMOKE/mtx" -count 2 -seed 4 >/dev/null
+MTX=$(ls "$SMOKE"/mtx/*.mtx | head -n 1)
+"$SMOKE/spmvselect" serve -model "$SMOKE/model.gob" -addr 127.0.0.1:0 -portfile "$SMOKE/port" &
+SERVE_PID=$!
+i=0
+while [ ! -s "$SMOKE/port" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i+1)); done
+[ -s "$SMOKE/port" ] || { echo 'ci: serve never wrote its portfile'; exit 1; }
+ADDR=$(cat "$SMOKE/port")
+OUT=$("$SMOKE/spmvselect" request -addr "$ADDR" -mtx "$MTX")
+echo "$OUT" | grep -q '"format"' || { echo "ci: bad matrix prediction response: $OUT"; exit 1; }
+ZEROS='0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0'
+OUT=$("$SMOKE/spmvselect" request -addr "$ADDR" -features "$ZEROS")
+echo "$OUT" | grep -q '"format"' || { echo "ci: bad feature-vector prediction response: $OUT"; exit 1; }
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo 'ci: serve did not exit cleanly on SIGTERM'; exit 1; }
+
 if [ "${1:-}" = bench ]; then
 	echo '== regenerating BENCH_obs.json (instrumented table -n 9, paper scale)'
 	go run ./cmd/spmvselect table -n 9 -obs :0 -report BENCH_obs.json >/dev/null

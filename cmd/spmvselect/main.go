@@ -10,6 +10,13 @@
 //	spmvselect export -dir DIR [-count N] write the collection as .mtx
 //	spmvselect predict -mtx FILE [-arch Turing] [-quick]
 //	                                      recommend a format for a matrix
+//	spmvselect train -save FILE           fit the pipeline once and save the
+//	                                      full artifact (model + fitted
+//	                                      preprocessing + label mapping)
+//	spmvselect serve -model FILE          answer predictions over HTTP from
+//	                                      a saved artifact until SIGTERM
+//	spmvselect request -addr HOST:PORT    post one prediction request to a
+//	                                      running serve instance
 //	spmvselect cpubench -dir DIR          run the pipeline on real measured
 //	                                      host-CPU SpMV times over a
 //	                                      directory of .mtx(.gz) files
@@ -39,8 +46,8 @@ import (
 	"repro/internal/cpubench"
 	"repro/internal/dataset"
 	"repro/internal/eval"
-	"repro/internal/gpusim"
 	"repro/internal/obs"
+	"repro/internal/serve"
 	"repro/internal/sparse"
 )
 
@@ -59,6 +66,12 @@ func main() {
 		err = cmdExport(os.Args[2:])
 	case "predict":
 		err = cmdPredict(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "request":
+		err = cmdRequest(os.Args[2:])
 	case "cpubench":
 		err = cmdCPUBench(os.Args[2:])
 	case "report":
@@ -78,7 +91,10 @@ func usage() {
   spmvselect table -n <1..9> [-quick] [-obs ADDR] [-report PATH]
   spmvselect tables [-quick] [-obs ADDR] [-report PATH]
   spmvselect export -dir DIR [-count N] [-seed S]
-  spmvselect predict -mtx FILE [-arch Turing] [-quick]
+  spmvselect predict -mtx FILE [-model FILE | -arch Turing [-quick]]
+  spmvselect train -save FILE [-arch Turing] [-model semisup|knn|tree|forest|logreg] [-clusters K] [-quick]
+  spmvselect serve -model FILE [-addr :8080] [-portfile PATH] [-max-concurrent N] [-cache N] [-timeout D] [-obs ADDR]
+  spmvselect request -addr HOST:PORT (-mtx FILE | -features "v1,v2,...")
   spmvselect cpubench -dir DIR [-trials N] [-clusters K] [-quick] [-obs ADDR] [-report PATH]
   spmvselect report [-in PATH] [-text]`)
 }
@@ -435,6 +451,7 @@ func runCPUBench(ctx context.Context, dirPath string, trials, clusters int) erro
 func cmdPredict(args []string) error {
 	fs := flag.NewFlagSet("predict", flag.ExitOnError)
 	mtx := fs.String("mtx", "", "MatrixMarket file (required)")
+	model := fs.String("model", "", "predict from this saved model file instead of training")
 	archName := fs.String("arch", "Turing", "target architecture (Pascal, Volta, Turing)")
 	quick := fs.Bool("quick", false, "train on a reduced corpus")
 	if err := fs.Parse(args); err != nil {
@@ -442,10 +459,6 @@ func cmdPredict(args []string) error {
 	}
 	if *mtx == "" {
 		return fmt.Errorf("predict: -mtx is required")
-	}
-	arch, ok := gpusim.ArchByName(*archName)
-	if !ok {
-		return fmt.Errorf("predict: unknown architecture %q", *archName)
 	}
 	f, err := os.Open(*mtx)
 	if err != nil {
@@ -456,32 +469,39 @@ func cmdPredict(args []string) error {
 	if err != nil {
 		return fmt.Errorf("reading %s: %w", *mtx, err)
 	}
+	rows, cols := m.Dims()
+	fmt.Printf("matrix: %s (%dx%d, %d nonzeros)\n", filepath.Base(*mtx), rows, cols, m.NNZ())
+
+	if *model != "" {
+		// Predict from a saved artifact: no training, no corpus.
+		art, err := serve.LoadFile(*model)
+		if err != nil {
+			return err
+		}
+		pred, err := art.PredictMatrix(m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("model: %s (%s, trained for %s)\n", *model, art.Kind, art.Arch)
+		fmt.Printf("recommended format: %s\n", pred.Format)
+		if pred.Cluster >= 0 {
+			fmt.Printf("explanation: cluster %d (%d training matrices) votes label %d\n",
+				pred.Cluster, pred.ClusterSize, pred.Label)
+		}
+		return nil
+	}
 
 	// Train a selector on the synthetic corpus labelled for the target
 	// architecture.
-	cfg := options(*quick).Dataset
-	items, err := dataset.Generate(cfg)
+	ms, best, arch, err := labelledTrainingSet(*archName, *quick)
 	if err != nil {
-		return err
-	}
-	var ms []*sparse.CSR
-	var best []sparse.Format
-	for _, it := range items {
-		meas := arch.Measure(it.Name, gpusim.NewProfile(it.Matrix))
-		if !meas.Feasible() {
-			continue
-		}
-		bf, _ := meas.BestFormat()
-		ms = append(ms, it.Matrix)
-		best = append(best, bf)
+		return fmt.Errorf("predict: %w", err)
 	}
 	sel, err := core.TrainSelector(ms, best, core.Options{NumClusters: 200, Seed: 1})
 	if err != nil {
 		return err
 	}
 	e := sel.Explain(m)
-	rows, cols := m.Dims()
-	fmt.Printf("matrix: %s (%dx%d, %d nonzeros)\n", filepath.Base(*mtx), rows, cols, m.NNZ())
 	fmt.Printf("target: %s (%s)\n", arch.Name, arch.Model)
 	fmt.Printf("recommended format: %v\n", e.Format)
 	fmt.Printf("explanation: %s\n", e)

@@ -4,7 +4,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -95,6 +97,126 @@ func TestCmdCPUBench(t *testing.T) {
 	if err := cmdCPUBench([]string{"-dir", t.TempDir()}); err == nil {
 		t.Error("empty directory accepted")
 	}
+}
+
+// TestCmdTrainServeRequestRoundTrip walks the full deployment story
+// in-process: train a model, save it, predict from the saved file,
+// serve it over HTTP, query it with the request subcommand, and shut
+// the server down with a real SIGTERM.
+func TestCmdTrainServeRequestRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a corpus-backed model")
+	}
+	dir := t.TempDir()
+	model := filepath.Join(dir, "model.gob")
+	if err := cmdTrain([]string{"-save", model, "-quick", "-clusters", "16"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTrain([]string{"-quick"}); err == nil {
+		t.Error("missing -save accepted")
+	}
+	if err := cmdTrain([]string{"-save", model, "-quick", "-model", "cnn"}); err == nil {
+		t.Error("unknown model accepted")
+	}
+
+	if err := cmdExport([]string{"-dir", dir, "-count", "3", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	var mtx string
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".mtx") {
+			mtx = filepath.Join(dir, e.Name())
+			break
+		}
+	}
+	if mtx == "" {
+		t.Fatal("no exported matrix")
+	}
+
+	// Prediction from the saved artifact, no retraining.
+	if err := cmdPredict([]string{"-mtx", mtx, "-model", model}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPredict([]string{"-mtx", mtx, "-model", mtx}); err == nil {
+		t.Error("a .mtx file accepted as a model")
+	}
+
+	// Serve it; the portfile tells us the bound port of 127.0.0.1:0.
+	portFile := filepath.Join(dir, "port")
+	done := make(chan error, 1)
+	go func() {
+		done <- cmdServe([]string{"-model", model, "-addr", "127.0.0.1:0", "-portfile", portFile})
+	}()
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("server never wrote the portfile")
+		}
+		if b, err := os.ReadFile(portFile); err == nil && len(b) > 0 {
+			addr = string(b)
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("serve exited early: %v", err)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+
+	if err := cmdRequest([]string{"-addr", addr, "-mtx", mtx}); err != nil {
+		t.Errorf("matrix request: %v", err)
+	}
+	// A 3-feature vector must come back as a 400, which request reports
+	// as an error.
+	if err := cmdRequest([]string{"-addr", addr, "-features", "1,2,3"}); err == nil {
+		t.Error("wrong-dimension feature request succeeded")
+	}
+	if err := cmdRequest([]string{"-addr", addr}); err == nil {
+		t.Error("request without a payload accepted")
+	}
+	if err := cmdRequest([]string{"-mtx", mtx}); err == nil {
+		t.Error("request without -addr accepted")
+	}
+
+	// Graceful shutdown on a real signal (cmdServe catches it, so the
+	// test binary survives).
+	syscall.Kill(os.Getpid(), syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v after SIGTERM", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down after SIGTERM")
+	}
+}
+
+// TestCmdTrainClassifier saves a supervised artifact and predicts from
+// it.
+func TestCmdTrainClassifier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a corpus-backed model")
+	}
+	dir := t.TempDir()
+	model := filepath.Join(dir, "knn.gob")
+	if err := cmdTrain([]string{"-save", model, "-quick", "-model", "knn", "-arch", "Volta"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdExport([]string{"-dir", dir, "-count", "2", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".mtx") {
+			if err := cmdPredict([]string{"-mtx", filepath.Join(dir, e.Name()), "-model", model}); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+	}
+	t.Fatal("no exported matrix")
 }
 
 // TestCmdObsReportRoundTrip exercises the -obs flag end-to-end on the

@@ -1,0 +1,230 @@
+package main
+
+// The model-persistence and serving subcommands: train fits the
+// pipeline once and saves the artifact, serve answers predictions from
+// a saved artifact over HTTP, and request is the matching stdlib-only
+// client (so smoke tests need no curl).
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/features"
+	"repro/internal/gpusim"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/sparse"
+)
+
+// labelledTrainingSet generates the synthetic corpus and labels each
+// matrix with its best format on the target architecture, dropping
+// matrices no format can hold.
+func labelledTrainingSet(archName string, quick bool) ([]*sparse.CSR, []sparse.Format, gpusim.Arch, error) {
+	arch, ok := gpusim.ArchByName(archName)
+	if !ok {
+		return nil, nil, arch, fmt.Errorf("unknown architecture %q (want Pascal, Volta or Turing)", archName)
+	}
+	items, err := dataset.Generate(options(quick).Dataset)
+	if err != nil {
+		return nil, nil, arch, err
+	}
+	var ms []*sparse.CSR
+	var best []sparse.Format
+	for _, it := range items {
+		meas := arch.Measure(it.Name, gpusim.NewProfile(it.Matrix))
+		if !meas.Feasible() {
+			continue
+		}
+		bf, _ := meas.BestFormat()
+		ms = append(ms, it.Matrix)
+		best = append(best, bf)
+	}
+	return ms, best, arch, nil
+}
+
+// formatLabels converts best-format values to class indices in
+// sparse.KernelFormats order.
+func formatLabels(best []sparse.Format) []int {
+	y := make([]int, len(best))
+	for i, f := range best {
+		for k, kf := range sparse.KernelFormats() {
+			if kf == f {
+				y[i] = k
+			}
+		}
+	}
+	return y
+}
+
+// cmdTrain fits a selector on the synthetic corpus and saves the full
+// artifact — preprocessing chain, model, label mapping — for serve and
+// predict -model.
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	save := fs.String("save", "", "output model file (required)")
+	archName := fs.String("arch", "Turing", "target architecture (Pascal, Volta, Turing)")
+	model := fs.String("model", "semisup", `model: "semisup" (the paper's pipeline) or a supervised classifier (knn, tree, forest, logreg)`)
+	clusters := fs.Int("clusters", 200, "number of K-Means clusters (semisup)")
+	seed := fs.Int64("seed", 1, "training seed")
+	quick := fs.Bool("quick", false, "train on the reduced corpus")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *save == "" {
+		return fmt.Errorf("train: -save is required")
+	}
+	if *quick {
+		// Explicit -clusters wins over the quick default.
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["clusters"] {
+			*clusters = 32
+		}
+	}
+	ms, best, arch, err := labelledTrainingSet(*archName, *quick)
+	if err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "training %s on %d matrices labelled for %s...\n", *model, len(ms), arch.Name)
+
+	var art *serve.Artifact
+	if *model == "semisup" {
+		sel, err := core.TrainSelector(ms, best, core.Options{NumClusters: *clusters, Seed: *seed})
+		if err != nil {
+			return fmt.Errorf("train: %w", err)
+		}
+		art = serve.NewSemisupArtifact(sel.Model(), arch.Name)
+	} else {
+		x := features.Matrix(features.ExtractAll(ms))
+		art, err = serve.TrainClassifierArtifact(*model, arch.Name, x, formatLabels(best), *seed)
+		if err != nil {
+			return fmt.Errorf("train: %w", err)
+		}
+	}
+	if err := serve.SaveFile(*save, art); err != nil {
+		return err
+	}
+	fmt.Printf("saved %s model (%s, %d features) to %s\n", art.Kind, arch.Name, art.InDim(), *save)
+	return nil
+}
+
+// cmdServe answers predictions from a saved model over HTTP until
+// SIGTERM or interrupt, then drains in-flight requests and exits.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	model := fs.String("model", "", "model file written by train -save (required)")
+	addr := fs.String("addr", ":8080", "listen address (:0 picks a free port)")
+	portFile := fs.String("portfile", "", "write the bound address to this file once listening")
+	maxConc := fs.Int("max-concurrent", 0, "bound on in-flight predictions (0 = one per CPU)")
+	cacheSize := fs.Int("cache", 512, "prediction LRU capacity in entries (negative disables)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout, queueing included")
+	obsAddr := fs.String("obs", "", "serve expvar+pprof (with the serve/* metrics) on this address too")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *model == "" {
+		return fmt.Errorf("serve: -model is required")
+	}
+	art, err := serve.LoadFile(*model)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.NewServer(art, serve.Config{
+		MaxConcurrent: *maxConc,
+		CacheSize:     *cacheSize,
+		Timeout:       *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	if *obsAddr != "" {
+		bound, stopObs, err := obs.Serve(*obsAddr)
+		if err != nil {
+			return err
+		}
+		defer stopObs()
+		fmt.Fprintf(os.Stderr, "serve: expvar and pprof on http://%s/debug/\n", bound)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return srv.Run(ctx, *addr, func(bound string) {
+		fmt.Fprintf(os.Stderr, "serve: %s model (%s) listening on http://%s\n", art.Kind, art.Arch, bound)
+		if *portFile != "" {
+			if err := os.WriteFile(*portFile, []byte(bound), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: writing portfile: %v; shutting down\n", err)
+				stop()
+			}
+		}
+	})
+}
+
+// cmdRequest posts one prediction request to a running serve instance
+// and prints the JSON answer — the client half of the smoke test.
+func cmdRequest(args []string) error {
+	fs := flag.NewFlagSet("request", flag.ExitOnError)
+	addr := fs.String("addr", "", "server address host:port (required)")
+	mtx := fs.String("mtx", "", "MatrixMarket file to submit")
+	featuresCSV := fs.String("features", "", "comma-separated raw feature vector to submit instead of a matrix")
+	timeout := fs.Duration("timeout", 30*time.Second, "request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("request: -addr is required")
+	}
+	var path, contentType string
+	var body io.Reader
+	switch {
+	case *mtx != "" && *featuresCSV != "":
+		return fmt.Errorf("request: -mtx and -features are mutually exclusive")
+	case *mtx != "":
+		f, err := os.Open(*mtx)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		path, contentType, body = "/v1/predict/matrix", "text/plain", f
+	case *featuresCSV != "":
+		var vec []float64
+		for _, s := range strings.Split(*featuresCSV, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return fmt.Errorf("request: bad feature value %q: %w", s, err)
+			}
+			vec = append(vec, v)
+		}
+		data, err := json.Marshal(map[string][]float64{"features": vec})
+		if err != nil {
+			return err
+		}
+		path, contentType, body = "/v1/predict/features", "application/json", strings.NewReader(string(data))
+	default:
+		return fmt.Errorf("request: one of -mtx or -features is required")
+	}
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Post("http://"+*addr+path, contentType, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("request: server answered %s", resp.Status)
+	}
+	return nil
+}

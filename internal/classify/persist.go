@@ -1,0 +1,256 @@
+package classify
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Gob persistence for the classical models, so a fitted supervised
+// classifier can ship inside a saved model artifact (see internal/serve)
+// the same way the semi-supervised model does. Each supported model
+// implements GobEncoder/GobDecoder over an exported wire struct, keeping
+// the in-memory representations (unexported fields, pointer-linked
+// trees) free to change without breaking saved artifacts.
+//
+// Supported: KNN, Tree, Forest, LogReg — the models the paper's
+// pipeline actually deploys (KNN as the supervised counterpart of
+// centroid clustering, LR/RF also being the cluster-labelling rules).
+
+func init() {
+	// Register the concrete types so a Classifier interface field
+	// round-trips through gob.
+	gob.Register(&KNN{})
+	gob.Register(&Tree{})
+	gob.Register(&Forest{})
+	gob.Register(&LogReg{})
+}
+
+// Persistable reports whether a classifier can be gob-serialised (and
+// therefore embedded in a saved model artifact).
+func Persistable(c Classifier) bool {
+	switch c.(type) {
+	case *KNN, *Tree, *Forest, *LogReg:
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// KNN
+
+type knnGob struct {
+	K        int
+	Weighted bool
+	X        [][]float64
+	Y        []int
+	Classes  int
+	Fitted   bool
+}
+
+// GobEncode serialises the memorised training set and hyperparameters.
+func (m *KNN) GobEncode() ([]byte, error) {
+	return encodeWire(knnGob{
+		K: m.K, Weighted: m.Weighted,
+		X: m.x, Y: m.y, Classes: m.classes, Fitted: m.fitted,
+	})
+}
+
+// GobDecode restores a KNN written by GobEncode.
+func (m *KNN) GobDecode(data []byte) error {
+	var w knnGob
+	if err := decodeWire(data, &w); err != nil {
+		return fmt.Errorf("classify: decoding KNN: %w", err)
+	}
+	if w.Fitted && len(w.X) != len(w.Y) {
+		return fmt.Errorf("classify: decoded KNN has %d rows but %d labels", len(w.X), len(w.Y))
+	}
+	*m = KNN{K: w.K, Weighted: w.Weighted, x: w.X, y: w.Y, classes: w.Classes, fitted: w.Fitted}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Tree
+
+// treeNodeGob is one node of the flattened tree; children are indices
+// into the node slice (-1 for none).
+type treeNodeGob struct {
+	Feature     int
+	Threshold   float64
+	Left, Right int
+	Class       int
+	Leaf        bool
+	Counts      []int
+}
+
+type treeGob struct {
+	MaxDepth        int
+	MinSamplesSplit int
+	MaxFeatures     int
+	Seed            int64
+	Nodes           []treeNodeGob // preorder; empty when unfitted
+	Classes         int
+	Fitted          bool
+	Importance      []float64
+	NTrain          int
+}
+
+// flatten appends the subtree rooted at n and returns its index.
+func flatten(n *treeNode, out *[]treeNodeGob) int {
+	idx := len(*out)
+	*out = append(*out, treeNodeGob{
+		Feature: n.feature, Threshold: n.threshold,
+		Left: -1, Right: -1,
+		Class: n.class, Leaf: n.leaf, Counts: n.counts,
+	})
+	if !n.leaf {
+		(*out)[idx].Left = flatten(n.left, out)
+		(*out)[idx].Right = flatten(n.right, out)
+	}
+	return idx
+}
+
+// unflatten rebuilds the subtree rooted at index i.
+func unflatten(nodes []treeNodeGob, i int) (*treeNode, error) {
+	if i < 0 || i >= len(nodes) {
+		return nil, fmt.Errorf("classify: decoded tree node index %d outside [0, %d)", i, len(nodes))
+	}
+	w := nodes[i]
+	n := &treeNode{
+		feature: w.Feature, threshold: w.Threshold,
+		class: w.Class, leaf: w.Leaf, counts: w.Counts,
+	}
+	if !n.leaf {
+		var err error
+		if n.left, err = unflatten(nodes, w.Left); err != nil {
+			return nil, err
+		}
+		if n.right, err = unflatten(nodes, w.Right); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// GobEncode serialises the fitted tree as a flattened node array.
+func (m *Tree) GobEncode() ([]byte, error) {
+	w := treeGob{
+		MaxDepth: m.MaxDepth, MinSamplesSplit: m.MinSamplesSplit,
+		MaxFeatures: m.MaxFeatures, Seed: m.Seed,
+		Classes: m.classes, Fitted: m.fitted,
+		Importance: m.importance, NTrain: m.nTrain,
+	}
+	if m.root != nil {
+		flatten(m.root, &w.Nodes)
+	}
+	return encodeWire(w)
+}
+
+// GobDecode restores a Tree written by GobEncode.
+func (m *Tree) GobDecode(data []byte) error {
+	var w treeGob
+	if err := decodeWire(data, &w); err != nil {
+		return fmt.Errorf("classify: decoding tree: %w", err)
+	}
+	t := Tree{
+		MaxDepth: w.MaxDepth, MinSamplesSplit: w.MinSamplesSplit,
+		MaxFeatures: w.MaxFeatures, Seed: w.Seed,
+		classes: w.Classes, fitted: w.Fitted,
+		importance: w.Importance, nTrain: w.NTrain,
+	}
+	if len(w.Nodes) > 0 {
+		root, err := unflatten(w.Nodes, 0)
+		if err != nil {
+			return err
+		}
+		t.root = root
+	} else if w.Fitted {
+		return fmt.Errorf("classify: decoded tree is fitted but has no nodes")
+	}
+	*m = t
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Forest
+
+type forestGob struct {
+	Trees       int
+	MaxDepth    int
+	MaxFeatures int
+	Seed        int64
+	Estimators  []*Tree // each serialises through Tree's GobEncode
+	Classes     int
+	Fitted      bool
+}
+
+// GobEncode serialises the forest and its estimators.
+func (m *Forest) GobEncode() ([]byte, error) {
+	return encodeWire(forestGob{
+		Trees: m.Trees, MaxDepth: m.MaxDepth, MaxFeatures: m.MaxFeatures,
+		Seed: m.Seed, Estimators: m.trees, Classes: m.classes, Fitted: m.fitted,
+	})
+}
+
+// GobDecode restores a Forest written by GobEncode.
+func (m *Forest) GobDecode(data []byte) error {
+	var w forestGob
+	if err := decodeWire(data, &w); err != nil {
+		return fmt.Errorf("classify: decoding forest: %w", err)
+	}
+	if w.Fitted && len(w.Estimators) == 0 {
+		return fmt.Errorf("classify: decoded forest is fitted but has no estimators")
+	}
+	*m = Forest{
+		Trees: w.Trees, MaxDepth: w.MaxDepth, MaxFeatures: w.MaxFeatures,
+		Seed: w.Seed, trees: w.Estimators, classes: w.Classes, fitted: w.Fitted,
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// LogReg
+
+type logRegGob struct {
+	Epochs  int
+	LR      float64
+	L2      float64
+	W       [][]float64
+	Classes int
+	Fitted  bool
+}
+
+// GobEncode serialises the weight matrix and hyperparameters.
+func (m *LogReg) GobEncode() ([]byte, error) {
+	return encodeWire(logRegGob{
+		Epochs: m.Epochs, LR: m.LR, L2: m.L2,
+		W: m.w, Classes: m.classes, Fitted: m.fitted,
+	})
+}
+
+// GobDecode restores a LogReg written by GobEncode.
+func (m *LogReg) GobDecode(data []byte) error {
+	var w logRegGob
+	if err := decodeWire(data, &w); err != nil {
+		return fmt.Errorf("classify: decoding logreg: %w", err)
+	}
+	if w.Fitted && len(w.W) != w.Classes {
+		return fmt.Errorf("classify: decoded logreg has %d weight rows for %d classes", len(w.W), w.Classes)
+	}
+	*m = LogReg{Epochs: w.Epochs, LR: w.LR, L2: w.L2, w: w.W, classes: w.Classes, fitted: w.Fitted}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+
+func encodeWire(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeWire(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

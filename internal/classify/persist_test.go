@@ -1,0 +1,127 @@
+package classify
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+)
+
+// persistTask generates a well-separated 3-class problem.
+func persistTask(rng *rand.Rand, n, d int) (x [][]float64, y []int) {
+	x = make([][]float64, n)
+	y = make([]int, n)
+	for i := range x {
+		c := i % 3
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = float64(c) + 0.2*rng.NormFloat64()
+		}
+		x[i] = row
+		y[i] = c
+	}
+	return x, y
+}
+
+// TestClassifierGobRoundTrip checks that every persistable model
+// predicts identically after a save/load through a Classifier interface
+// value, which is how the serve artifact stores it.
+func TestClassifierGobRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x, y := persistTask(rng, 240, 6)
+	models := map[string]Classifier{
+		"knn":    NewKNN(5),
+		"tree":   NewTree(8),
+		"forest": &Forest{Trees: 12, MaxDepth: 5, Seed: 3},
+		"logreg": NewLogReg(),
+	}
+	for name, clf := range models {
+		if !Persistable(clf) {
+			t.Errorf("%s: Persistable = false", name)
+		}
+		if err := clf.Fit(x, y, 3); err != nil {
+			t.Fatalf("%s fit: %v", name, err)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&clf); err != nil {
+			t.Fatalf("%s encode: %v", name, err)
+		}
+		var loaded Classifier
+		if err := gob.NewDecoder(&buf).Decode(&loaded); err != nil {
+			t.Fatalf("%s decode: %v", name, err)
+		}
+		for i, row := range x {
+			if got, want := loaded.Predict(row), clf.Predict(row); got != want {
+				t.Fatalf("%s: prediction diverges at row %d: %d != %d", name, i, got, want)
+			}
+		}
+	}
+}
+
+// TestTreeRoundTripPreservesStructure checks depth and importances
+// survive the flatten/unflatten cycle.
+func TestTreeRoundTripPreservesStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := persistTask(rng, 150, 4)
+	tree := NewTree(7)
+	if err := tree.Fit(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	data, err := tree.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded Tree
+	if err := loaded.GobDecode(data); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Depth() != tree.Depth() {
+		t.Errorf("depth %d != %d", loaded.Depth(), tree.Depth())
+	}
+	imp, limp := tree.Importances(), loaded.Importances()
+	if len(imp) != len(limp) {
+		t.Fatalf("importances length %d != %d", len(limp), len(imp))
+	}
+	for j := range imp {
+		if imp[j] != limp[j] {
+			t.Errorf("importance %d: %v != %v", j, limp[j], imp[j])
+		}
+	}
+}
+
+// TestClassifierGobRejectsGarbage checks decoders fail loudly on
+// corrupt and inconsistent payloads.
+func TestClassifierGobRejectsGarbage(t *testing.T) {
+	var tree Tree
+	if err := tree.GobDecode([]byte("junk")); err == nil {
+		t.Error("tree accepted garbage")
+	}
+	var knn KNN
+	if err := knn.GobDecode([]byte{0x01}); err == nil {
+		t.Error("knn accepted garbage")
+	}
+	// A fitted tree without nodes is inconsistent.
+	data, err := encodeWire(treeGob{Fitted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.GobDecode(data); err == nil {
+		t.Error("fitted node-less tree accepted")
+	}
+}
+
+// TestUnfittedClassifierRoundTrips checks an unfitted model survives
+// persistence (and still refuses to predict meaningfully).
+func TestUnfittedClassifierRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(NewKNN(3)); err != nil {
+		t.Fatal(err)
+	}
+	var loaded KNN
+	if err := gob.NewDecoder(&buf).Decode(&loaded); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.K != 3 {
+		t.Errorf("K = %d, want 3", loaded.K)
+	}
+}

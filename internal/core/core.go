@@ -95,6 +95,21 @@ func (s *Selector) Select(m *sparse.CSR) sparse.Format {
 	return sparse.KernelFormats()[idx]
 }
 
+// SelectVector recommends a format from a raw Table 1 feature vector,
+// validating its dimension — the entry point for callers (such as the
+// prediction service) that receive feature vectors instead of matrices.
+func (s *Selector) SelectVector(x []float64) (sparse.Format, error) {
+	idx, err := s.model.PredictChecked(x)
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	return sparse.KernelFormats()[idx], nil
+}
+
+// Model exposes the underlying semi-supervised model, e.g. for
+// embedding in a serve artifact.
+func (s *Selector) Model() *semisup.Model { return s.model }
+
 // Convert returns the matrix converted to its recommended format.
 func (s *Selector) Convert(m *sparse.CSR) (sparse.Matrix, error) {
 	f := s.Select(m)

@@ -201,8 +201,17 @@ func Speedups(times [][]float64, pred []int) (SpeedupReport, error) {
 		if p < 0 || p >= len(row) {
 			return SpeedupReport{}, fmt.Errorf("metrics: prediction %d out of range at row %d", p, i)
 		}
+		if len(row) <= CSRIndex {
+			return SpeedupReport{}, fmt.Errorf("metrics: row %d has %d kernel times, need > %d for the CSR baseline", i, len(row), CSRIndex)
+		}
 		best := math.Inf(1)
-		for _, t := range row {
+		for k, t := range row {
+			// A zero or negative kernel time would send math.Log to
+			// ±Inf/NaN and silently poison both geomeans; reject it with
+			// the offending row instead.
+			if t <= 0 || math.IsInf(t, 0) || math.IsNaN(t) {
+				return SpeedupReport{}, fmt.Errorf("metrics: non-positive kernel time %v for format %d at row %d", t, k, i)
+			}
 			if t < best {
 				best = t
 			}

@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -260,5 +261,47 @@ func TestClassReport(t *testing.T) {
 	}
 	if c.String() == "" {
 		t.Error("empty confusion render")
+	}
+}
+
+// TestSpeedupsRejectsNonPositiveTimes checks that a zero, negative or
+// non-finite kernel time is reported as an error naming the offending
+// row instead of sending the geomeans to ±Inf/NaN through math.Log.
+func TestSpeedupsRejectsNonPositiveTimes(t *testing.T) {
+	base := func() [][]float64 {
+		return [][]float64{
+			{4, 2, 3, 5},
+			{1, 2, 8, 4},
+			{6, 3, 2, 9},
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		bad  float64
+	}{
+		{"zero", 0},
+		{"negative", -1e-9},
+		{"posinf", math.Inf(1)},
+		{"nan", math.NaN()},
+	} {
+		times := base()
+		times[1][2] = tc.bad
+		_, err := Speedups(times, []int{1, 1, 1})
+		if err == nil {
+			t.Errorf("%s kernel time accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "row 1") {
+			t.Errorf("%s: error %q does not name the offending row", tc.name, err)
+		}
+	}
+	// The clean baseline still computes.
+	if _, err := Speedups(base(), []int{1, 1, 1}); err != nil {
+		t.Errorf("clean input rejected: %v", err)
+	}
+	// A row too short to contain the CSR baseline errors instead of
+	// panicking.
+	if _, err := Speedups([][]float64{{3}}, []int{0}); err == nil {
+		t.Error("1-entry row accepted despite missing CSR baseline")
 	}
 }

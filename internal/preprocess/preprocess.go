@@ -21,10 +21,25 @@ import (
 // Transformer is a fitted feature-space transformation.
 type Transformer interface {
 	// Transform maps one raw feature vector to the transformed space,
-	// returning a new slice.
+	// returning a new slice. Implementations must be total: an input
+	// whose length differs from the fitted dimension is truncated or
+	// zero-padded (never a panic), because serving paths hand these
+	// untrusted client vectors. Callers that want a hard failure on
+	// mismatched input use TransformChecked.
 	Transform(x []float64) []float64
+	// InDim is the input dimensionality the transformer was fitted on.
+	InDim() int
 	// OutDim is the dimensionality of the transformed space.
 	OutDim() int
+}
+
+// TransformChecked applies t after validating the input dimension,
+// returning a descriptive error instead of silently padding/truncating.
+func TransformChecked(t Transformer, x []float64) ([]float64, error) {
+	if d := t.InDim(); len(x) != d {
+		return nil, fmt.Errorf("preprocess: %T expects %d features, got %d", t, d, len(x))
+	}
+	return t.Transform(x), nil
 }
 
 // Apply transforms every row through t.
@@ -47,6 +62,29 @@ func (c Chain) Transform(x []float64) []float64 {
 		y = t.Transform(y)
 	}
 	return y
+}
+
+// TransformChecked runs x through every stage, validating the input
+// dimension of each against the vector it receives. This is the entry
+// point for untrusted feature vectors (e.g. the prediction service).
+func (c Chain) TransformChecked(x []float64) ([]float64, error) {
+	y := append([]float64(nil), x...)
+	for i, t := range c {
+		var err error
+		if y, err = TransformChecked(t, y); err != nil {
+			return nil, fmt.Errorf("stage %d: %w", i, err)
+		}
+	}
+	return y, nil
+}
+
+// InDim is the input dimension of the first stage (0 for an empty
+// chain, meaning any).
+func (c Chain) InDim() int {
+	if len(c) == 0 {
+		return 0
+	}
+	return c[0].InDim()
 }
 
 // OutDim is the output dimension of the last stage.
@@ -95,7 +133,9 @@ func FitSkew(rows [][]float64) (*SkewTransform, error) {
 }
 
 // skewness returns the adjusted Fisher-Pearson sample skewness of
-// feature j.
+// feature j: G1 = sqrt(n(n-1))/(n-2) * m3/m2^1.5, the bias-corrected
+// estimator scipy's skew(bias=False) computes. Samples with fewer than
+// three rows have no defined correction and return the biased value.
 func skewness(rows [][]float64, j int) float64 {
 	n := float64(len(rows))
 	mu := 0.0
@@ -114,7 +154,11 @@ func skewness(rows [][]float64, j int) float64 {
 	if m2 == 0 {
 		return 0
 	}
-	return m3 / math.Pow(m2, 1.5)
+	g1 := m3 / math.Pow(m2, 1.5)
+	if len(rows) < 3 {
+		return g1
+	}
+	return g1 * math.Sqrt(n*(n-1)) / (n - 2)
 }
 
 // Transform applies the fitted per-feature transforms.
@@ -136,6 +180,9 @@ func (t *SkewTransform) Transform(x []float64) []float64 {
 	}
 	return y
 }
+
+// InDim returns the fitted dimensionality.
+func (t *SkewTransform) InDim() int { return len(t.Mode) }
 
 // OutDim returns the (unchanged) dimensionality.
 func (t *SkewTransform) OutDim() int { return len(t.Mode) }
@@ -169,14 +216,20 @@ func FitMinMax(rows [][]float64) (*MinMaxScaler, error) {
 	return s, nil
 }
 
-// Transform scales x into [0, 1] per feature with clamping.
+// Transform scales x into [0, 1] per feature with clamping. The output
+// always has the fitted dimension: extra input features are dropped and
+// missing ones read as zero (which then clamps), so a wrong-length
+// vector from an untrusted client can never panic on s.Min/s.Max.
 func (s *MinMaxScaler) Transform(x []float64) []float64 {
-	y := make([]float64, len(x))
-	for j, v := range x {
+	y := make([]float64, len(s.Min))
+	for j := range y {
 		span := s.Max[j] - s.Min[j]
 		if span <= 0 {
-			y[j] = 0
 			continue
+		}
+		v := 0.0
+		if j < len(x) {
+			v = x[j]
 		}
 		u := (v - s.Min[j]) / span
 		if u < 0 {
@@ -188,6 +241,9 @@ func (s *MinMaxScaler) Transform(x []float64) []float64 {
 	}
 	return y
 }
+
+// InDim returns the fitted dimensionality.
+func (s *MinMaxScaler) InDim() int { return len(s.Min) }
 
 // OutDim returns the (unchanged) dimensionality.
 func (s *MinMaxScaler) OutDim() int { return len(s.Min) }
@@ -240,14 +296,24 @@ func FitPCA(rows [][]float64, k int) (*PCA, error) {
 	return p, nil
 }
 
-// Transform centres x and projects it onto the kept components.
+// Transform centres x and projects it onto the kept components. Like
+// MinMaxScaler.Transform it is total: the centred vector always has the
+// fitted dimension, with extra input features dropped and missing ones
+// read as zero.
 func (p *PCA) Transform(x []float64) []float64 {
-	centered := make([]float64, len(x))
-	for j := range x {
-		centered[j] = x[j] - p.Mean[j]
+	centered := make([]float64, len(p.Mean))
+	for j := range centered {
+		v := 0.0
+		if j < len(x) {
+			v = x[j]
+		}
+		centered[j] = v - p.Mean[j]
 	}
 	return linalg.MulVec(p.Components, centered)
 }
+
+// InDim returns the fitted dimensionality.
+func (p *PCA) InDim() int { return len(p.Mean) }
 
 // OutDim returns the number of kept components.
 func (p *PCA) OutDim() int { return p.Components.Rows }

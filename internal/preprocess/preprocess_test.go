@@ -245,3 +245,132 @@ func TestPCAOrthonormalComponents(t *testing.T) {
 		}
 	}
 }
+
+// TestSkewnessAdjustedEstimator pins the adjusted Fisher-Pearson value
+// G1 = sqrt(n(n-1))/(n-2) * m3/m2^1.5 on samples with a closed-form
+// skewness, matching scipy.stats.skew(..., bias=False).
+func TestSkewnessAdjustedEstimator(t *testing.T) {
+	cases := []struct {
+		name string
+		col  []float64
+		want float64
+	}{
+		// {0, 0, 1}: biased g1 = 1/sqrt(2), adjusted G1 = sqrt(3).
+		{"three-point", []float64{0, 0, 1}, math.Sqrt(3)},
+		// Bernoulli(p = 1/10) sample: biased g1 = (1-2p)/sqrt(p(1-p)) =
+		// 8/3, adjusted G1 = 8/3 * sqrt(90)/8 = sqrt(10).
+		{"bernoulli-tenth", []float64{0, 0, 0, 0, 0, 0, 0, 0, 0, 1}, math.Sqrt(10)},
+		// Symmetric samples stay at zero under the correction.
+		{"symmetric", []float64{-2, -1, 0, 1, 2}, 0},
+	}
+	for _, tc := range cases {
+		rows := make([][]float64, len(tc.col))
+		for i, v := range tc.col {
+			rows[i] = []float64{v}
+		}
+		if got := skewness(rows, 0); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: skewness = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestSkewnessSmallSampleFallsBack checks that n < 3 returns the biased
+// estimator (the adjustment divides by n-2).
+func TestSkewnessSmallSampleFallsBack(t *testing.T) {
+	rows := [][]float64{{0}, {1}}
+	if got := skewness(rows, 0); got != 0 {
+		t.Errorf("two-point sample skewness = %v, want 0", got)
+	}
+	if got := skewness([][]float64{{5}}, 0); got != 0 {
+		t.Errorf("one-point sample skewness = %v, want 0", got)
+	}
+}
+
+// TestFitSkewAdjustmentFlipsMode places samples where the biased
+// estimator sits below a threshold but the adjusted one sits above it,
+// so the correction changes the chosen transform mode.
+func TestFitSkewAdjustmentFlipsMode(t *testing.T) {
+	// {0, 0, 1}: biased 0.707 < sqrtSkewThreshold, adjusted 1.732 > it
+	// (and < logSkewThreshold) -> sqrt instead of identity.
+	sqrtRows := [][]float64{{0}, {0}, {1}}
+	sk, err := FitSkew(sqrtRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.Mode[0] != 1 {
+		t.Errorf("adjusted skewness 1.732 got mode %d, want 1 (sqrt)", sk.Mode[0])
+	}
+
+	// Bernoulli(1/10): biased 2.667 < logSkewThreshold, adjusted
+	// 3.162 > it -> log instead of sqrt.
+	logRows := make([][]float64, 10)
+	for i := range logRows {
+		logRows[i] = []float64{0}
+	}
+	logRows[9][0] = 1
+	sk, err = FitSkew(logRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.Mode[0] != 2 {
+		t.Errorf("adjusted skewness 3.162 got mode %d, want 2 (log)", sk.Mode[0])
+	}
+}
+
+// TestTransformWrongDimensionNoPanic feeds fitted transformers vectors
+// of the wrong length — the serve path's untrusted input — and checks
+// for deterministic, panic-free behaviour.
+func TestTransformWrongDimensionNoPanic(t *testing.T) {
+	rows := [][]float64{{0, 0, 0}, {1, 2, 3}, {2, 4, 6}, {3, 9, 1}}
+	chain, err := FitPipeline(rows, Options{Components: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range chain {
+		if got := tr.InDim(); got != 3 {
+			t.Fatalf("%T.InDim() = %d, want 3", tr, got)
+		}
+	}
+	long := []float64{1, 2, 3, 4, 5, 6}
+	short := []float64{1}
+	for _, in := range [][]float64{long, short, nil} {
+		out := chain.Transform(in) // must not panic
+		if len(out) != chain.OutDim() {
+			t.Errorf("Transform(len %d) returned %d dims, want %d", len(in), len(out), chain.OutDim())
+		}
+	}
+	// The checked path reports the mismatch instead.
+	if _, err := chain.TransformChecked(long); err == nil {
+		t.Error("TransformChecked accepted a 6-vector on a 3-feature chain")
+	}
+	if _, err := chain.TransformChecked(short); err == nil {
+		t.Error("TransformChecked accepted a 1-vector on a 3-feature chain")
+	}
+	ok := []float64{1, 2, 3}
+	checked, err := chain.TransformChecked(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := chain.Transform(ok)
+	for j := range plain {
+		if checked[j] != plain[j] {
+			t.Errorf("checked and plain transforms diverge at %d: %v != %v", j, checked[j], plain[j])
+		}
+	}
+}
+
+// TestMinMaxScalerDimensionGuard pins the documented truncate/zero-pad
+// behaviour of the standalone scaler.
+func TestMinMaxScalerDimensionGuard(t *testing.T) {
+	s, err := FitMinMax([][]float64{{0, 10}, {4, 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Transform([]float64{2, 15, 99}); len(got) != 2 || got[0] != 0.5 || got[1] != 0.5 {
+		t.Errorf("long input: %v, want [0.5 0.5]", got)
+	}
+	// Missing features read as zero and clamp to the training minimum.
+	if got := s.Transform([]float64{4}); len(got) != 2 || got[0] != 1 || got[1] != 0 {
+		t.Errorf("short input: %v, want [1 0]", got)
+	}
+}

@@ -1,6 +1,7 @@
 package semisup
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -47,6 +48,26 @@ func (m *Model) Save(w io.Writer) error {
 	if err := gob.NewEncoder(w).Encode(payload); err != nil {
 		return fmt.Errorf("semisup: encoding model: %w", err)
 	}
+	return nil
+}
+
+// GobEncode lets a *Model be embedded directly in a larger gob payload
+// (the serve package's model artifact); it delegates to Save.
+func (m *Model) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode is the inverse of GobEncode, delegating to Load.
+func (m *Model) GobDecode(data []byte) error {
+	loaded, err := Load(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	*m = *loaded
 	return nil
 }
 

@@ -2,6 +2,7 @@ package semisup
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math/rand"
 	"strings"
 	"testing"
@@ -74,6 +75,88 @@ func TestLoadedModelRelabels(t *testing.T) {
 	}
 	if acc := float64(hit) / float64(len(x)); acc < 0.9 {
 		t.Errorf("relabelled loaded model accuracy %.3f", acc)
+	}
+}
+
+// TestRoundTripPreservesFittedChain checks the fitted preprocessing
+// chain itself — skew thresholds, scaler bounds, PCA basis — survives
+// serialization bit for bit, not merely "close enough": every
+// transformed coordinate must be identical, and the strict
+// TransformChecked path must behave the same on the loaded model.
+func TestRoundTripPreservesFittedChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, y := clusteredTask(rng, 400, 8, 4)
+	m, err := Train(x, y, 4, Config{NumClusters: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.InDim() != m.InDim() || loaded.Classes() != m.Classes() {
+		t.Fatalf("metadata diverges: InDim %d/%d Classes %d/%d",
+			loaded.InDim(), m.InDim(), loaded.Classes(), m.Classes())
+	}
+	if len(loaded.pipeline) != len(m.pipeline) {
+		t.Fatalf("chain length %d != %d", len(loaded.pipeline), len(m.pipeline))
+	}
+	for i, row := range x {
+		want := m.pipeline.Transform(row)
+		got := loaded.pipeline.Transform(row)
+		if len(got) != len(want) {
+			t.Fatalf("row %d: transformed dim %d != %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("row %d coord %d: %v != %v after round-trip", i, j, got[j], want[j])
+			}
+		}
+		wantP, errW := m.PredictChecked(row)
+		gotP, errG := loaded.PredictChecked(row)
+		if errW != nil || errG != nil || wantP != gotP {
+			t.Fatalf("row %d: PredictChecked %d,%v != %d,%v", i, gotP, errG, wantP, errW)
+		}
+	}
+	// The strict path still rejects bad dimensions after loading.
+	if _, err := loaded.PredictChecked([]float64{1, 2}); err == nil {
+		t.Error("loaded model accepted a 2-vector")
+	}
+}
+
+// TestModelGobValue exercises the GobEncoder/GobDecoder hooks that let
+// a *Model travel as a field of a larger gob message (the serve
+// artifact does exactly this).
+func TestModelGobValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x, y := clusteredTask(rng, 300, 4, 3)
+	m, err := Train(x, y, 3, Config{NumClusters: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type carrier struct {
+		Name  string
+		Model *Model
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(carrier{Name: "m", Model: m}); err != nil {
+		t.Fatal(err)
+	}
+	var out carrier
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Model == nil {
+		t.Fatal("model field decoded to nil")
+	}
+	for i, row := range x {
+		if m.Predict(row) != out.Model.Predict(row) {
+			t.Fatalf("embedded round-trip diverges at row %d", i)
+		}
 	}
 }
 

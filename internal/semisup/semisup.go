@@ -309,6 +309,25 @@ func (m *Model) Predict(x []float64) int {
 	return m.ClusterLabel(m.ClusterOf(x))
 }
 
+// InDim returns the raw feature dimension the model was fitted on (0
+// when the preprocessing chain is empty, meaning any).
+func (m *Model) InDim() int { return m.pipeline.InDim() }
+
+// Classes returns the number of format classes the model labels.
+func (m *Model) Classes() int { return m.classes }
+
+// PredictChecked is Predict with input validation: it rejects feature
+// vectors whose dimension does not match the fitted pipeline instead of
+// silently truncating or padding them. Serving paths that accept
+// untrusted client vectors must use this entry point.
+func (m *Model) PredictChecked(x []float64) (int, error) {
+	tx, err := m.pipeline.TransformChecked(x)
+	if err != nil {
+		return 0, fmt.Errorf("semisup: %w", err)
+	}
+	return m.ClusterLabel(m.clust.Assign(tx)), nil
+}
+
 // PredictAll classifies every row.
 func (m *Model) PredictAll(x [][]float64) []int {
 	out := make([]int, len(x))

@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/gob"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/features"
+	"repro/internal/gpusim"
+	"repro/internal/sparse"
+)
+
+// labelledCorpus generates a small synthetic collection labelled on the
+// given simulated architecture, shared by the artifact and server
+// tests.
+func labelledCorpus(t *testing.T, archName string) (ms []*sparse.CSR, best []sparse.Format) {
+	t.Helper()
+	arch, ok := gpusim.ArchByName(archName)
+	if !ok {
+		t.Fatalf("unknown architecture %q", archName)
+	}
+	items, err := dataset.Generate(dataset.Config{
+		Seed: 5, BaseCount: 40, Scale: 0.3, DropELLFailures: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		meas := arch.Measure(it.Name, gpusim.NewProfile(it.Matrix))
+		if !meas.Feasible() {
+			continue
+		}
+		bf, _ := meas.BestFormat()
+		ms = append(ms, it.Matrix)
+		best = append(best, bf)
+	}
+	if len(ms) < 20 {
+		t.Fatalf("labelled corpus too small: %d matrices", len(ms))
+	}
+	return ms, best
+}
+
+func labelsOf(best []sparse.Format) []int {
+	y := make([]int, len(best))
+	for i, f := range best {
+		for k, kf := range sparse.KernelFormats() {
+			if kf == f {
+				y[i] = k
+			}
+		}
+	}
+	return y
+}
+
+// TestSemisupArtifactRoundTrip checks save→load→predict matches the
+// in-memory pipeline bit-for-bit, matrix by matrix.
+func TestSemisupArtifactRoundTrip(t *testing.T) {
+	ms, best := labelledCorpus(t, "Turing")
+	sel, err := core.TrainSelector(ms, best, core.Options{NumClusters: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := NewSemisupArtifact(sel.Model(), "Turing")
+	var buf bytes.Buffer
+	if err := art.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Kind != KindSemisup || loaded.Arch != "Turing" {
+		t.Fatalf("loaded metadata: kind %q arch %q", loaded.Kind, loaded.Arch)
+	}
+	for i, m := range ms {
+		inMem := sel.Select(m).String()
+		pred, err := loaded.PredictMatrix(m)
+		if err != nil {
+			t.Fatalf("matrix %d: %v", i, err)
+		}
+		if pred.Format != inMem {
+			t.Fatalf("matrix %d: loaded artifact predicts %s, in-memory selector %s", i, pred.Format, inMem)
+		}
+		// The feature-vector path must agree with the matrix path.
+		vecPred, err := loaded.Predict(features.Extract(m).Slice())
+		if err != nil {
+			t.Fatalf("matrix %d features: %v", i, err)
+		}
+		if vecPred != pred {
+			t.Fatalf("matrix %d: vector path %+v != matrix path %+v", i, vecPred, pred)
+		}
+		if pred.Cluster < 0 {
+			t.Fatalf("matrix %d: semisup prediction has no cluster", i)
+		}
+	}
+}
+
+// TestClassifierArtifactRoundTrip does the same for every supervised
+// classifier the artifact supports, including the fitted preprocessing
+// chain.
+func TestClassifierArtifactRoundTrip(t *testing.T) {
+	ms, best := labelledCorpus(t, "Pascal")
+	x := features.Matrix(features.ExtractAll(ms))
+	y := labelsOf(best)
+	for _, name := range []string{"knn", "tree", "forest", "logreg"} {
+		art, err := TrainClassifierArtifact(name, "Pascal", x, y, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var buf bytes.Buffer
+		if err := art.Save(&buf); err != nil {
+			t.Fatalf("%s save: %v", name, err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%s load: %v", name, err)
+		}
+		if loaded.Classifier != name {
+			t.Fatalf("%s: loaded classifier name %q", name, loaded.Classifier)
+		}
+		for i, row := range x {
+			want, err := art.Predict(row)
+			if err != nil {
+				t.Fatalf("%s row %d: %v", name, i, err)
+			}
+			got, err := loaded.Predict(row)
+			if err != nil {
+				t.Fatalf("%s row %d after load: %v", name, i, err)
+			}
+			if got != want {
+				t.Fatalf("%s row %d: loaded %+v != in-memory %+v", name, i, got, want)
+			}
+		}
+	}
+}
+
+// TestTrainClassifierArtifactRejectsUnknown covers the classifier-name
+// validation.
+func TestTrainClassifierArtifactRejectsUnknown(t *testing.T) {
+	if _, err := TrainClassifierArtifact("cnn", "Turing", [][]float64{{1}}, []int{0}, 1); err == nil {
+		t.Error("unknown classifier accepted")
+	}
+}
+
+// TestArtifactPredictValidatesDimensions feeds wrong-length vectors —
+// the untrusted serve input — through both artifact kinds.
+func TestArtifactPredictValidatesDimensions(t *testing.T) {
+	ms, best := labelledCorpus(t, "Turing")
+	sel, err := core.TrainSelector(ms, best, core.Options{NumClusters: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	semi := NewSemisupArtifact(sel.Model(), "Turing")
+	x := features.Matrix(features.ExtractAll(ms))
+	clf, err := TrainClassifierArtifact("knn", "Turing", x, labelsOf(best), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, art := range []*Artifact{semi, clf} {
+		if got := art.InDim(); got != features.Count {
+			t.Errorf("%s InDim = %d, want %d", art.Kind, got, features.Count)
+		}
+		for _, bad := range [][]float64{nil, {1, 2, 3}, make([]float64, features.Count+4)} {
+			if _, err := art.Predict(bad); err == nil {
+				t.Errorf("%s accepted a %d-vector", art.Kind, len(bad))
+			}
+		}
+	}
+}
+
+// TestLoadRejectsForeignStreams covers magic, truncation, version and
+// consistency checks.
+func TestLoadRejectsForeignStreams(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a model at all, not even close")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := Load(strings.NewReader(artifactMagic)); err == nil {
+		t.Error("magic-only stream accepted")
+	}
+	// A version from the future must be refused, not misparsed.
+	var buf bytes.Buffer
+	io.WriteString(&buf, artifactMagic)
+	if err := gob.NewEncoder(&buf).Encode(artifactEnvelope{
+		Version: ArtifactVersion + 1,
+		Payload: Artifact{Kind: KindSemisup, Formats: KernelFormatNames()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future version error = %v", err)
+	}
+	// An artifact without a model is inconsistent.
+	if err := (&Artifact{Kind: KindSemisup, Formats: KernelFormatNames()}).Validate(); err == nil {
+		t.Error("model-less semisup artifact validated")
+	}
+	if err := (&Artifact{Kind: "mystery", Formats: KernelFormatNames()}).Validate(); err == nil {
+		t.Error("unknown kind validated")
+	}
+}
+
+// TestSaveFileAtomic checks the file round-trip (and that SaveFile
+// installs the artifact under the final name).
+func TestSaveFileAtomic(t *testing.T) {
+	ms, best := labelledCorpus(t, "Volta")
+	sel, err := core.TrainSelector(ms, best, core.Options{NumClusters: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/model.gob"
+	if err := SaveFile(path, NewSemisupArtifact(sel.Model(), "Volta")); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms[:5] {
+		pred, err := loaded.PredictMatrix(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred.Format != sel.Select(m).String() {
+			t.Fatalf("file round-trip diverges: %s != %s", pred.Format, sel.Select(m))
+		}
+	}
+}

@@ -1,0 +1,348 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sparse"
+)
+
+// Config tunes the prediction service. The zero value selects sensible
+// production defaults.
+type Config struct {
+	// MaxConcurrent bounds in-flight predictions; excess requests wait
+	// (up to the request timeout) for a slot. Default: obs.Workers of
+	// GOMAXPROCS — the same bound the repository's parallel helpers
+	// use, since prediction is CPU-bound.
+	MaxConcurrent int
+	// CacheSize is the content-hash LRU capacity in entries (default
+	// 512; negative disables caching).
+	CacheSize int
+	// Timeout bounds one request end to end, including time spent
+	// queueing for a concurrency slot (default 30s).
+	Timeout time.Duration
+	// MaxBodyBytes bounds the request body (default 64 MiB — a
+	// MatrixMarket body of several million nonzeros).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = obs.Workers(runtime.GOMAXPROCS(0))
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 512
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Server answers format predictions over HTTP from a loaded Artifact:
+//
+//	GET  /healthz              liveness probe
+//	GET  /v1/model             artifact metadata
+//	POST /v1/predict/matrix    MatrixMarket body -> prediction
+//	POST /v1/predict/features  {"features": [... 21 floats ...]} -> prediction
+//
+// Requests are bounded-concurrency (CPU-bound inference), cached by
+// request content hash, and instrumented in the obs.Default metrics
+// registry:
+//
+//	serve/requests          counter    requests accepted per endpoint path
+//	serve/errors            counter    requests answered with an error status
+//	serve/rejected          counter    requests shed (queue wait exceeded the timeout)
+//	serve/cache/hits        counter    predictions answered from the LRU
+//	serve/cache/misses      counter    predictions computed
+//	serve/inflight          gauge      predictions currently executing
+//	serve/request/seconds   histogram  end-to-end request latency
+type Server struct {
+	art   *Artifact
+	cfg   Config
+	sem   chan struct{}
+	cache *lruCache
+
+	requests    *obs.Counter
+	errors      *obs.Counter
+	rejected    *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	inflight    *obs.Gauge
+	latency     *obs.Histogram
+}
+
+// NewServer wraps a validated artifact.
+func NewServer(art *Artifact, cfg Config) (*Server, error) {
+	if err := art.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	return &Server{
+		art:         art,
+		cfg:         cfg,
+		sem:         make(chan struct{}, cfg.MaxConcurrent),
+		cache:       newLRUCache(cfg.CacheSize),
+		requests:    obs.Default.Counter("serve/requests"),
+		errors:      obs.Default.Counter("serve/errors"),
+		rejected:    obs.Default.Counter("serve/rejected"),
+		cacheHits:   obs.Default.Counter("serve/cache/hits"),
+		cacheMisses: obs.Default.Counter("serve/cache/misses"),
+		inflight:    obs.Default.Gauge("serve/inflight"),
+		latency:     obs.Default.Histogram("serve/request/seconds", obs.DurationBuckets),
+	}, nil
+}
+
+// predictResponse is the JSON answer of both prediction endpoints.
+type predictResponse struct {
+	Prediction
+	// Cached reports whether the answer came from the content-hash LRU.
+	Cached bool `json:"cached"`
+}
+
+// modelResponse describes the loaded artifact.
+type modelResponse struct {
+	Kind       string   `json:"kind"`
+	Classifier string   `json:"classifier,omitempty"`
+	Arch       string   `json:"arch,omitempty"`
+	Formats    []string `json:"formats"`
+	Features   int      `json:"features"`
+	Clusters   int      `json:"clusters,omitempty"`
+	Version    int      `json:"version"`
+}
+
+// errorResponse is the JSON error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP handler (its own mux, so tests can
+// drive it without a listener).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/v1/model", func(w http.ResponseWriter, r *http.Request) {
+		resp := modelResponse{
+			Kind:       s.art.Kind,
+			Classifier: s.art.Classifier,
+			Arch:       s.art.Arch,
+			Formats:    s.art.Formats,
+			Features:   s.art.InDim(),
+			Version:    ArtifactVersion,
+		}
+		if s.art.Kind == KindSemisup {
+			resp.Clusters = s.art.Semisup.NumClusters()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/v1/predict/matrix", s.limited(s.predictMatrix))
+	mux.HandleFunc("/v1/predict/features", s.limited(s.predictFeatures))
+	return mux
+}
+
+// httpError carries a status code with the error.
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+// limited wraps a prediction handler with the request method check, the
+// per-request timeout, the concurrency bound and the metrics.
+func (s *Server) limited(h func(ctx context.Context, r *http.Request) (Prediction, bool, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
+			return
+		}
+		s.requests.Inc()
+		start := time.Now()
+		defer func() { s.latency.Observe(time.Since(start).Seconds()) }()
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+
+		// Bounded concurrency: wait for a slot, but never longer than
+		// the request timeout — shed load instead of queueing without
+		// bound.
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			s.rejected.Inc()
+			s.errors.Inc()
+			writeJSON(w, http.StatusServiceUnavailable,
+				errorResponse{Error: "server at capacity, retry later"})
+			return
+		}
+		s.inflight.Add(1)
+		defer func() {
+			s.inflight.Add(-1)
+			<-s.sem
+		}()
+
+		pred, cached, err := h(ctx, r)
+		if err != nil {
+			s.errors.Inc()
+			status := http.StatusInternalServerError
+			var he *httpError
+			if errors.As(err, &he) {
+				status = he.status
+			}
+			writeJSON(w, status, errorResponse{Error: err.Error()})
+			return
+		}
+		if cached {
+			s.cacheHits.Inc()
+		} else {
+			s.cacheMisses.Inc()
+		}
+		writeJSON(w, http.StatusOK, predictResponse{Prediction: pred, Cached: cached})
+	}
+}
+
+// readBody reads the (size-bounded) request body.
+func (s *Server) readBody(r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		return nil, badRequest("reading request body: %v", err)
+	}
+	if int64(len(body)) > s.cfg.MaxBodyBytes {
+		return nil, &httpError{status: http.StatusRequestEntityTooLarge,
+			err: fmt.Errorf("request body exceeds %d bytes", s.cfg.MaxBodyBytes)}
+	}
+	if len(body) == 0 {
+		return nil, badRequest("empty request body")
+	}
+	return body, nil
+}
+
+// predictMatrix answers a MatrixMarket body.
+func (s *Server) predictMatrix(ctx context.Context, r *http.Request) (Prediction, bool, error) {
+	body, err := s.readBody(r)
+	if err != nil {
+		return Prediction{}, false, err
+	}
+	key := contentKey("matrix", body)
+	if pred, ok := s.cache.Get(key); ok {
+		return pred, true, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return Prediction{}, false, &httpError{status: http.StatusServiceUnavailable, err: err}
+	}
+	m, err := sparse.ReadMatrixMarketBytes(body)
+	if err != nil {
+		return Prediction{}, false, badRequest("parsing MatrixMarket body: %v", err)
+	}
+	pred, err := s.art.PredictMatrix(m)
+	if err != nil {
+		return Prediction{}, false, badRequest("%v", err)
+	}
+	s.cache.Put(key, pred)
+	return pred, false, nil
+}
+
+// featuresRequest is the JSON body of /v1/predict/features.
+type featuresRequest struct {
+	Features []float64 `json:"features"`
+}
+
+// predictFeatures answers a raw feature vector.
+func (s *Server) predictFeatures(ctx context.Context, r *http.Request) (Prediction, bool, error) {
+	body, err := s.readBody(r)
+	if err != nil {
+		return Prediction{}, false, err
+	}
+	key := contentKey("features", body)
+	if pred, ok := s.cache.Get(key); ok {
+		return pred, true, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return Prediction{}, false, &httpError{status: http.StatusServiceUnavailable, err: err}
+	}
+	var req featuresRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return Prediction{}, false, badRequest("parsing JSON body: %v", err)
+	}
+	pred, err := s.art.Predict(req.Features)
+	if err != nil {
+		return Prediction{}, false, badRequest("%v", err)
+	}
+	s.cache.Put(key, pred)
+	return pred, false, nil
+}
+
+// Run serves on addr until ctx is cancelled (SIGTERM in the CLI), then
+// shuts down gracefully, draining in-flight requests for up to 5
+// seconds. ready, when non-nil, receives the bound address once the
+// listener is up — how callers learn the port of ":0".
+func (s *Server) Run(ctx context.Context, addr string, ready func(bound string)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listening on %s: %w", addr, err)
+	}
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       s.cfg.Timeout,
+		WriteTimeout:      s.cfg.Timeout,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	return nil
+}
+
+// contentKey hashes an endpoint-qualified request body.
+func contentKey(endpoint string, body []byte) string {
+	h := sha256.New()
+	io.WriteString(h, endpoint)
+	h.Write([]byte{0})
+	h.Write(body)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	data, err := json.Marshal(v)
+	if err != nil {
+		// v is always one of our own response structs; this cannot
+		// happen for valid predictions, but never crash the handler.
+		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+		return
+	}
+	w.Write(append(data, '\n'))
+}

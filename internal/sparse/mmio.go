@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strconv"
@@ -14,6 +15,13 @@ import (
 // skew-symmetric storage. Pattern entries read as 1.0. Symmetric inputs
 // are expanded to full storage, which is what every SpMV benchmark
 // (including CUSP's) does before timing.
+
+// ReadMatrixMarketBytes parses an in-memory MatrixMarket coordinate
+// body into CSR — the entry point for request bodies that were already
+// read (and size-bounded) by a network handler.
+func ReadMatrixMarketBytes(data []byte) (*CSR, error) {
+	return ReadMatrixMarket(bytes.NewReader(data))
+}
 
 // ReadMatrixMarket parses a MatrixMarket coordinate stream into CSR.
 func ReadMatrixMarket(r io.Reader) (*CSR, error) {
