@@ -3,9 +3,16 @@
 check:
 	sh ci.sh
 
-# bench-obs additionally regenerates the committed BENCH_obs.json perf
-# baseline from an instrumented paper-scale `table -n 9` run.
+# bench-obs additionally regenerates the committed BENCH_obs.json and
+# BENCH_parallel.json perf baselines (instrumented paper-scale
+# `table -n 9` run, then `benchpar` with its identical-output and
+# speedup gates).
 bench-obs:
 	sh ci.sh bench
 
-.PHONY: check bench-obs
+# bench-parallel regenerates only BENCH_parallel.json: tables 3-8 at one
+# worker vs eight, byte-compared and speedup-gated.
+bench-parallel:
+	go run ./cmd/spmvselect benchpar -workers 8 -out BENCH_parallel.json
+
+.PHONY: check bench-obs bench-parallel

@@ -7,6 +7,11 @@
 #                  disabled-path overhead benchmark
 #   bench          additionally regenerate BENCH_obs.json from an
 #                  instrumented paper-scale `table -n 9` run (minutes)
+#                  and BENCH_parallel.json from `spmvselect benchpar`,
+#                  which fails when the parallel scheduler's output
+#                  differs from sequential or its speedup falls below
+#                  the machine-aware gate (3x with >= 8 CPUs; on
+#                  smaller hosts it only rejects pathological slowdown)
 set -eu
 cd "$(dirname "$0")"
 
@@ -47,6 +52,8 @@ if [ "${1:-}" = bench ]; then
 	echo '== regenerating BENCH_obs.json (instrumented table -n 9, paper scale)'
 	go run ./cmd/spmvselect table -n 9 -obs :0 -report BENCH_obs.json >/dev/null
 	go run ./cmd/spmvselect report -in BENCH_obs.json -text
+	echo '== regenerating BENCH_parallel.json (sequential vs parallel tables, quick scale)'
+	go run ./cmd/spmvselect benchpar -workers 8 -out BENCH_parallel.json
 fi
 
 echo 'ci: all checks passed'

@@ -32,6 +32,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -39,6 +40,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -74,6 +76,8 @@ func main() {
 		err = cmdRequest(os.Args[2:])
 	case "cpubench":
 		err = cmdCPUBench(os.Args[2:])
+	case "benchpar":
+		err = cmdBenchPar(os.Args[2:])
 	case "report":
 		err = cmdReport(os.Args[2:])
 	default:
@@ -88,8 +92,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  spmvselect table -n <1..9> [-quick] [-obs ADDR] [-report PATH]
-  spmvselect tables [-quick] [-obs ADDR] [-report PATH]
+  spmvselect table -n <1..9> [-quick] [-workers N] [-obs ADDR] [-report PATH]
+  spmvselect tables [-quick] [-workers N] [-obs ADDR] [-report PATH]
+  spmvselect benchpar [-workers N] [-quick] [-out PATH] [-min-speedup X]
   spmvselect export -dir DIR [-count N] [-seed S]
   spmvselect predict -mtx FILE [-model FILE | -arch Turing [-quick]]
   spmvselect train -save FILE [-arch Turing] [-model semisup|knn|tree|forest|logreg] [-clusters K] [-quick]
@@ -162,6 +167,7 @@ func cmdTable(args []string, all bool) error {
 	fs := flag.NewFlagSet("table", flag.ExitOnError)
 	n := fs.Int("n", 0, "table number (1-9)")
 	quick := fs.Bool("quick", false, "reduced dataset and folds for a fast run")
+	workers := fs.Int("workers", 0, "parallel workers across the whole pipeline (0 = GOMAXPROCS)")
 	obsAddr := fs.String("obs", "", "enable instrumentation and serve expvar+pprof on this address (:0 picks a port)")
 	reportPath := fs.String("report", obs.DefaultReportPath, "run-report path (used with -obs)")
 	if err := fs.Parse(args); err != nil {
@@ -172,7 +178,17 @@ func cmdTable(args []string, all bool) error {
 	} else if *n < 1 || *n > 9 {
 		return fmt.Errorf("table number %d outside 1..9", *n)
 	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers %d: must be >= 0", *workers)
+	}
 	opt := options(*quick)
+	if *workers > 0 {
+		// Cap the shared obs pool, not just the scheduler, so -workers 1
+		// yields a genuinely sequential run all the way down (K-Means,
+		// forest training, feature extraction).
+		obs.SetMaxWorkers(*workers)
+		opt.Workers = *workers
+	}
 
 	command := "table"
 	if all {
@@ -281,6 +297,145 @@ func cmdTable(args []string, all bool) error {
 		return err
 	}
 	return finish()
+}
+
+// parallelBench is the committed record of one benchpar run
+// (BENCH_parallel.json): the same quick-scale tables rendered
+// sequentially and through the parallel scheduler, byte-compared.
+type parallelBench struct {
+	CPUs              int     `json:"cpus"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	Workers           int     `json:"workers"`
+	Quick             bool    `json:"quick"`
+	SequentialSeconds float64 `json:"sequential_seconds"`
+	ParallelSeconds   float64 `json:"parallel_seconds"`
+	Speedup           float64 `json:"speedup"`
+	IdenticalOutput   bool    `json:"identical_output"`
+}
+
+// cmdBenchPar times tables 3-8 rendered sequentially (-workers 1) and
+// through the parallel scheduler, verifies the two outputs are
+// byte-identical, and writes the measurement as JSON. It fails when the
+// outputs differ or the speedup falls below the gate, so CI catches both
+// determinism and performance regressions.
+func cmdBenchPar(args []string) error {
+	fs := flag.NewFlagSet("benchpar", flag.ExitOnError)
+	workers := fs.Int("workers", 8, "parallel worker count to compare against sequential")
+	quick := fs.Bool("quick", true, "use the quick-scale corpus and folds")
+	out := fs.String("out", "BENCH_parallel.json", "output JSON path")
+	minSpeedup := fs.Float64("min-speedup", 0,
+		"fail below this sequential/parallel speedup; 0 picks 3.0 when the host has >= workers CPUs and 0.80 otherwise")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers < 2 {
+		return fmt.Errorf("benchpar: -workers %d: need >= 2 to compare against sequential", *workers)
+	}
+	opt := options(*quick)
+	ctx := context.Background()
+	fmt.Fprintf(os.Stderr, "building corpus (quick=%v)...\n", *quick)
+	env, err := eval.NewEnv(ctx, opt)
+	if err != nil {
+		return err
+	}
+
+	renderAll := func(w int) (string, time.Duration, error) {
+		prev := obs.SetMaxWorkers(w)
+		defer obs.SetMaxWorkers(prev)
+		o := opt
+		o.Workers = w
+		var buf bytes.Buffer
+		start := time.Now()
+		if err := eval.RenderTable3(&buf, eval.Table3(env)); err != nil {
+			return "", 0, err
+		}
+		rows4, err := eval.Table4(ctx, env, o)
+		if err != nil {
+			return "", 0, err
+		}
+		if err := eval.RenderTable4(&buf, rows4); err != nil {
+			return "", 0, err
+		}
+		rows5, err := eval.Table5(ctx, env, o)
+		if err != nil {
+			return "", 0, err
+		}
+		if err := eval.RenderTable5(&buf, rows5); err != nil {
+			return "", 0, err
+		}
+		rows6, err := eval.Table6(ctx, env, o)
+		if err != nil {
+			return "", 0, err
+		}
+		if err := eval.RenderTable6(&buf, rows6); err != nil {
+			return "", 0, err
+		}
+		rows7, err := eval.Table7(ctx, env, o)
+		if err != nil {
+			return "", 0, err
+		}
+		if err := eval.RenderTable7(&buf, rows7); err != nil {
+			return "", 0, err
+		}
+		if err := eval.RenderTable8(&buf, eval.Table8(env)); err != nil {
+			return "", 0, err
+		}
+		return buf.String(), time.Since(start), nil
+	}
+
+	fmt.Fprintln(os.Stderr, "sequential pass (workers=1)...")
+	seqOut, seqDur, err := renderAll(1)
+	if err != nil {
+		return fmt.Errorf("benchpar: sequential pass: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "sequential: %v\nparallel pass (workers=%d)...\n",
+		seqDur.Round(time.Millisecond), *workers)
+	parOut, parDur, err := renderAll(*workers)
+	if err != nil {
+		return fmt.Errorf("benchpar: parallel pass: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "parallel:   %v\n", parDur.Round(time.Millisecond))
+
+	res := parallelBench{
+		CPUs:              runtime.NumCPU(),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		Workers:           *workers,
+		Quick:             *quick,
+		SequentialSeconds: seqDur.Seconds(),
+		ParallelSeconds:   parDur.Seconds(),
+		Speedup:           seqDur.Seconds() / parDur.Seconds(),
+		IdenticalOutput:   seqOut == parOut,
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchpar: %d cpus, %d workers: %.2fs sequential, %.2fs parallel (%.2fx), identical=%v -> %s\n",
+		res.CPUs, res.Workers, res.SequentialSeconds, res.ParallelSeconds, res.Speedup, res.IdenticalOutput, *out)
+
+	if !res.IdenticalOutput {
+		return fmt.Errorf("benchpar: parallel output differs from sequential output")
+	}
+	gate := *minSpeedup
+	if gate == 0 {
+		if res.CPUs >= *workers {
+			gate = 3.0
+		} else {
+			// Fewer CPUs than workers: parallelism cannot pay for
+			// itself (oversubscribed goroutines share the same cores
+			// and fight over cache), so only guard against the
+			// scheduler making the run pathologically slower than
+			// sequential.
+			gate = 0.80
+		}
+	}
+	if res.Speedup < gate {
+		return fmt.Errorf("benchpar: speedup %.2fx below the %.2fx gate", res.Speedup, gate)
+	}
+	return nil
 }
 
 func cmdExport(args []string) error {

@@ -13,6 +13,8 @@ package classify
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // Classifier is a multiclass model over dense feature vectors.
@@ -27,12 +29,26 @@ type Classifier interface {
 // ErrNotFitted is returned when predicting with an untrained model.
 var ErrNotFitted = errors.New("classify: model not fitted")
 
-// PredictAll predicts every row.
+// BatchPredictor is implemented by classifiers with their own batched
+// (typically parallel) prediction path.
+type BatchPredictor interface {
+	PredictAll(x [][]float64) []int
+}
+
+// PredictAll predicts every row, dispatching to the classifier's own
+// batched path when it has one and otherwise fanning the rows out over
+// the shared obs worker pool. Every classifier in this package is
+// read-only during Predict (per-call state only), so row-parallel
+// prediction is safe, and the positional output makes the result
+// identical to a sequential loop.
 func PredictAll(c Classifier, x [][]float64) []int {
-	out := make([]int, len(x))
-	for i, row := range x {
-		out[i] = c.Predict(row)
+	if b, ok := c.(BatchPredictor); ok {
+		return b.PredictAll(x)
 	}
+	out := make([]int, len(x))
+	obs.ParallelFor(len(x), func(i int) {
+		out[i] = c.Predict(x[i])
+	})
 	return out
 }
 

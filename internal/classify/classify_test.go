@@ -1,10 +1,14 @@
 package classify
 
 import (
+	"container/heap"
 	"math/rand"
+	"runtime"
+	"sort"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -436,4 +440,177 @@ func TestPureTreeImportancesZero(t *testing.T) {
 			t.Errorf("pure tree has nonzero importance %v", v)
 		}
 	}
+}
+
+// TestKNNTopKMatchesBruteForce compares the fixed-size insertion top-k
+// against a brute-force reference (sort every distance, vote over the k
+// smallest) on random data, for several k including k > len(x).
+func TestKNNTopKMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	x, y := gaussianTask(rng, 150)
+	for _, k := range []int{1, 3, 5, 31, 200} {
+		m := NewKNN(k)
+		if err := m.Fit(x, y, 3); err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 50; trial++ {
+			q := []float64{rng.Float64() * 6, rng.Float64() * 6, rng.Float64() * 6}
+			if got, want := m.Predict(q), bruteKNN(x, y, 3, k, q); got != want {
+				t.Fatalf("k=%d trial %d: Predict %d, brute force %d", k, trial, got, want)
+			}
+		}
+	}
+}
+
+// bruteKNN is the obviously-correct reference: full sort by distance.
+func bruteKNN(x [][]float64, y []int, classes, k int, q []float64) int {
+	type cand struct {
+		d   float64
+		idx int
+	}
+	cands := make([]cand, len(x))
+	for i, p := range x {
+		var d float64
+		for j := range p {
+			d += (p[j] - q[j]) * (p[j] - q[j])
+		}
+		cands[i] = cand{d, i}
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	if k > len(cands) {
+		k = len(cands)
+	}
+	votes := make([]float64, classes)
+	for _, c := range cands[:k] {
+		votes[y[c.idx]]++
+	}
+	return argmax(votes)
+}
+
+// TestPredictAllMatchesSequential checks the batched (parallel) paths of
+// KNN, Forest, semisup-style dispatch and the Timed wrapper against a
+// plain Predict loop.
+func TestPredictAllMatchesSequential(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	rng := rand.New(rand.NewSource(23))
+	x, y := gaussianTask(rng, 120)
+	var queries [][]float64
+	for i := 0; i < 90; i++ {
+		queries = append(queries, []float64{rng.Float64() * 6, rng.Float64() * 6, rng.Float64() * 6})
+	}
+	models := []Classifier{NewKNN(5), NewForest(3), NewTree(6), NewLogReg()}
+	for _, m := range models {
+		if err := m.Fit(x, y, 3); err != nil {
+			t.Fatal(err)
+		}
+		got := PredictAll(m, queries)
+		timed := NewTimed("test", m).PredictAll(queries)
+		for i, q := range queries {
+			want := m.Predict(q)
+			if got[i] != want {
+				t.Fatalf("%T: PredictAll[%d] = %d, Predict = %d", m, i, got[i], want)
+			}
+			if timed[i] != want {
+				t.Fatalf("%T: Timed.PredictAll[%d] = %d, Predict = %d", m, i, timed[i], want)
+			}
+		}
+	}
+}
+
+// TestForestFitDeterministicAcrossWorkerCaps re-fits the same seeded
+// forest under worker caps 1 and 4 and requires identical predictions:
+// the pre-drawn per-tree seeds must make training independent of the
+// obs pool's parallelism.
+func TestForestFitDeterministicAcrossWorkerCaps(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	rng := rand.New(rand.NewSource(29))
+	x, y := gaussianTask(rng, 200)
+	fit := func(cap int) *Forest {
+		prev := obs.SetMaxWorkers(cap)
+		defer obs.SetMaxWorkers(prev)
+		f := NewForest(9)
+		f.Trees = 12
+		if err := f.Fit(x, y, 3); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	seq, par := fit(1), fit(4)
+	for i := 0; i < 100; i++ {
+		p := []float64{rng.Float64() * 5, rng.Float64() * 5, rng.Float64() * 5}
+		if seq.Predict(p) != par.Predict(p) {
+			t.Fatal("forest differs between worker caps 1 and 4")
+		}
+	}
+}
+
+// BenchmarkKNNPredict measures single-vector KNN prediction: the
+// fixed-size insertion top-k versus the container/heap implementation it
+// replaced (kept inline here as the baseline).
+func BenchmarkKNNPredict(b *testing.B) {
+	rng := rand.New(rand.NewSource(41))
+	x, y := gaussianTask(rng, 2000)
+	q := []float64{2, 2, 2}
+	m := NewKNN(5)
+	if err := m.Fit(x, y, 3); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("topk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = m.Predict(q)
+		}
+	})
+	b.Run("heap-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = heapKNNPredict(m, q)
+		}
+	})
+}
+
+// heapKNNPredict is the previous container/heap implementation, kept
+// only as the benchmark baseline for BenchmarkKNNPredict.
+func heapKNNPredict(m *KNN, x []float64) int {
+	k := m.K
+	if k > len(m.x) {
+		k = len(m.x)
+	}
+	h := make(oldNeighbourHeap, 0, k+1)
+	for i, p := range m.x {
+		var d float64
+		for j := range p {
+			d += (p[j] - x[j]) * (p[j] - x[j])
+		}
+		if len(h) < k {
+			heap.Push(&h, oldNeighbour{d, i})
+		} else if d < h[0].d {
+			h[0] = oldNeighbour{d, i}
+			heap.Fix(&h, 0)
+		}
+	}
+	votes := make([]float64, m.classes)
+	for _, nb := range h {
+		votes[m.y[nb.idx]]++
+	}
+	return argmax(votes)
+}
+
+type oldNeighbour struct {
+	d   float64
+	idx int
+}
+
+type oldNeighbourHeap []oldNeighbour
+
+func (h oldNeighbourHeap) Len() int            { return len(h) }
+func (h oldNeighbourHeap) Less(i, j int) bool  { return h[i].d > h[j].d }
+func (h oldNeighbourHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *oldNeighbourHeap) Push(x interface{}) { *h = append(*h, x.(oldNeighbour)) }
+func (h *oldNeighbourHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
 }

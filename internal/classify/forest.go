@@ -1,10 +1,11 @@
 package classify
 
 import (
+	"context"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
+
+	"repro/internal/obs"
 )
 
 // Forest is a random forest: bootstrap-sampled CART trees with per-split
@@ -53,7 +54,11 @@ func (m *Forest) Fit(x [][]float64, y []int, classes int) error {
 	m.trees = make([]*Tree, m.Trees)
 
 	// Pre-draw bootstrap samples sequentially for determinism, then
-	// train trees in parallel.
+	// train trees in parallel through the shared obs pool (so forest
+	// training shows up in the parallel/regions and parallel/workers
+	// metrics like every other parallel section). Each tree's seed is
+	// fixed before the fan-out and each goroutine writes only its own
+	// slot, so the fitted forest is identical at any worker count.
 	rng := rand.New(rand.NewSource(m.Seed))
 	boots := make([][][]float64, m.Trees)
 	bootY := make([][]int, m.Trees)
@@ -70,33 +75,18 @@ func (m *Forest) Fit(x [][]float64, y []int, classes int) error {
 		seeds[t] = rng.Int63()
 	}
 
-	var firstErr error
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for t := 0; t < m.Trees; t++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(t int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			tree := NewTree(m.MaxDepth)
-			tree.MaxFeatures = mf
-			tree.Seed = seeds[t]
-			if err := tree.Fit(boots[t], bootY[t], classes); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
-			}
-			m.trees[t] = tree
-		}(t)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return firstErr
+	err := obs.ParallelForErr(context.Background(), m.Trees, 0, func(_ context.Context, t int) error {
+		tree := NewTree(m.MaxDepth)
+		tree.MaxFeatures = mf
+		tree.Seed = seeds[t]
+		if err := tree.Fit(boots[t], bootY[t], classes); err != nil {
+			return err
+		}
+		m.trees[t] = tree
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	m.fitted = true
 	return nil
@@ -112,6 +102,17 @@ func (m *Forest) Predict(x []float64) int {
 		votes[t.Predict(x)]++
 	}
 	return argmax1(votes)
+}
+
+// PredictAll classifies every row, fanning the rows out over the shared
+// obs worker pool; each row walks all estimators, so per-item work is
+// far above the dispatch cost. The trees are read-only after Fit.
+func (m *Forest) PredictAll(x [][]float64) []int {
+	out := make([]int, len(x))
+	obs.ParallelFor(len(x), func(i int) {
+		out[i] = m.Predict(x[i])
+	})
+	return out
 }
 
 // Proba returns the per-class vote shares, the forest's probability

@@ -49,4 +49,13 @@ func (t *Timed) Predict(x []float64) int {
 	return t.Model.Predict(x)
 }
 
+// PredictAll classifies a batch through the wrapped model's batched
+// (parallel) path, counting every prediction.
+func (t *Timed) PredictAll(x [][]float64) []int {
+	if obs.Enabled() {
+		obs.Default.Counter("classify/" + t.Name + "/predictions").Add(int64(len(x)))
+	}
+	return PredictAll(t.Model, x)
+}
+
 var _ Classifier = (*Timed)(nil)

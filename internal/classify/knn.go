@@ -1,9 +1,8 @@
 package classify
 
 import (
-	"container/heap"
-
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
 
 // KNN is the k-nearest-neighbours classifier. The paper points out that
@@ -37,27 +36,47 @@ func (m *KNN) Fit(x [][]float64, y []int, classes int) error {
 	return nil
 }
 
-// neighbourHeap is a max-heap of (distance, index) keeping the k nearest.
-type neighbourHeap []struct {
+// neighbour is one (distance, training index) candidate.
+type neighbour struct {
 	d   float64
 	idx int
 }
 
-func (h neighbourHeap) Len() int           { return len(h) }
-func (h neighbourHeap) Less(i, j int) bool { return h[i].d > h[j].d } // max-heap
-func (h neighbourHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *neighbourHeap) Push(x interface{}) {
-	*h = append(*h, x.(struct {
-		d   float64
-		idx int
-	}))
+// topKMax is the largest K served by the stack-allocated neighbour
+// buffer; larger K (unused anywhere in the paper's configurations) falls
+// back to one heap allocation per call.
+const topKMax = 32
+
+// topK maintains the k nearest neighbours as a slice sorted ascending by
+// distance: the current worst is the last element, so the common case
+// (candidate farther than everything kept) is a single compare, and an
+// insertion is a short memmove. For the small k of every KNN in this
+// repository (k=5) this beats container/heap, which boxes every Push
+// through interface{} — one allocation per pushed candidate — and pays
+// sift-down calls through the sort.Interface methods. See
+// BenchmarkKNNPredict.
+type topK struct {
+	buf []neighbour
+	k   int
 }
-func (h *neighbourHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+
+// insert offers a candidate, keeping only the k nearest.
+func (t *topK) insert(d float64, idx int) {
+	n := len(t.buf)
+	if n == t.k {
+		if d >= t.buf[n-1].d {
+			return
+		}
+		n-- // drop the current worst, shift into its slot
+	} else {
+		t.buf = t.buf[:n+1]
+	}
+	i := n
+	for i > 0 && t.buf[i-1].d > d {
+		t.buf[i] = t.buf[i-1]
+		i--
+	}
+	t.buf[i] = neighbour{d, idx}
 }
 
 // Predict votes among the k nearest training points.
@@ -69,24 +88,18 @@ func (m *KNN) Predict(x []float64) int {
 	if k > len(m.x) {
 		k = len(m.x)
 	}
-	h := make(neighbourHeap, 0, k+1)
+	var stack [topKMax]neighbour
+	t := topK{k: k}
+	if k <= topKMax {
+		t.buf = stack[:0]
+	} else {
+		t.buf = make([]neighbour, 0, k)
+	}
 	for i, p := range m.x {
-		d := linalg.SqDist(p, x)
-		if len(h) < k {
-			heap.Push(&h, struct {
-				d   float64
-				idx int
-			}{d, i})
-		} else if d < h[0].d {
-			h[0] = struct {
-				d   float64
-				idx int
-			}{d, i}
-			heap.Fix(&h, 0)
-		}
+		t.insert(linalg.SqDist(p, x), i)
 	}
 	votes := make([]float64, m.classes)
-	for _, nb := range h {
+	for _, nb := range t.buf {
 		w := 1.0
 		if m.Weighted {
 			w = 1 / (nb.d + 1e-12)
@@ -94,6 +107,18 @@ func (m *KNN) Predict(x []float64) int {
 		votes[m.y[nb.idx]] += w
 	}
 	return argmax(votes)
+}
+
+// PredictAll classifies every row, fanning the rows out over the shared
+// obs worker pool. Each prediction scans the whole training set, so the
+// per-item work dwarfs the dispatch cost; results are positional and the
+// model is read-only during prediction.
+func (m *KNN) PredictAll(x [][]float64) []int {
+	out := make([]int, len(x))
+	obs.ParallelFor(len(x), func(i int) {
+		out[i] = m.Predict(x[i])
+	})
+	return out
 }
 
 var _ Classifier = (*KNN)(nil)

@@ -184,9 +184,13 @@ func Build(ctx context.Context, items []Item, archs []gpusim.Arch) *Corpus {
 		PerArch:  make(map[string]*ArchData, len(archs)),
 	}
 	_, sp := obs.Start(ctx, "features")
-	obs.ParallelFor(len(items), func(i int) {
-		c.Feats[i] = features.Extract(items[i].Matrix).Slice()
-		c.Profiles[i] = gpusim.NewProfile(items[i].Matrix)
+	obs.ParallelChunks(len(items), obs.Workers(len(items)), func(w, lo, hi int) {
+		// One reusable extraction scratch per worker.
+		var s features.Scratch
+		for i := lo; i < hi; i++ {
+			c.Feats[i] = s.Extract(items[i].Matrix).Slice()
+			c.Profiles[i] = gpusim.NewProfile(items[i].Matrix)
+		}
 	})
 	sp.SetMetric("items", float64(len(items)))
 	sp.End()

@@ -30,6 +30,11 @@ type Options struct {
 	CNNEpochs int
 	// Seed drives fold assignment and model seeds.
 	Seed int64
+	// Workers bounds the experiment scheduler's concurrent CV cells for
+	// Tables 4-7; 0 uses the global obs budget (GOMAXPROCS, or the
+	// -workers cap). The rendered tables are byte-identical for every
+	// setting — see scheduler.go.
+	Workers int
 }
 
 // PaperOptions is the full-scale configuration used by cmd/spmvselect.
@@ -94,9 +99,9 @@ func NewEnv(ctx context.Context, opt Options) (*Env, error) {
 	}
 	_, isp := obs.Start(ctx, "images")
 	images := make([][]float64, len(items))
-	for i, it := range items {
-		images[i] = classify.DensityImage(it.Matrix)
-	}
+	obs.ParallelFor(len(items), func(i int) {
+		images[i] = classify.DensityImage(items[i].Matrix)
+	})
 	isp.End()
 	return &Env{Corpus: corpus, Archs: archs, Common: common, Images: images}, nil
 }

@@ -3,9 +3,11 @@ package eval
 import (
 	"bytes"
 	"context"
+	"runtime"
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -395,5 +397,101 @@ func TestFamilyReport(t *testing.T) {
 	pred[0] = 99
 	if _, err := FamilyReport(d, pred, sparse.NumKernelFormats); err == nil {
 		t.Error("out-of-range prediction accepted")
+	}
+}
+
+// renderComputedTables renders tables 3-8 into one buffer — everything
+// the scheduler parallelises. Table 9 is excluded on purpose: its rows
+// are wall-clock training timings, never byte-stable across runs.
+func renderComputedTables(t *testing.T, env *Env, opt Options) string {
+	t.Helper()
+	ctx := context.Background()
+	var buf bytes.Buffer
+	if err := RenderTable3(&buf, Table3(env)); err != nil {
+		t.Fatal(err)
+	}
+	rows4, err := Table4(ctx, env, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderTable4(&buf, rows4); err != nil {
+		t.Fatal(err)
+	}
+	rows5, err := Table5(ctx, env, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderTable5(&buf, rows5); err != nil {
+		t.Fatal(err)
+	}
+	rows6, err := Table6(ctx, env, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderTable6(&buf, rows6); err != nil {
+		t.Fatal(err)
+	}
+	rows7, err := Table7(ctx, env, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderTable7(&buf, rows7); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderTable8(&buf, Table8(env)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestTablesDeterministicAcrossWorkers is the scheduler's contract: the
+// rendered tables are byte-identical whether the CV cells run strictly
+// sequentially (worker cap 1), fanned out over 8 workers, or at the
+// default worker count. GOMAXPROCS is raised so the 8-worker pass
+// exercises real goroutine interleaving even on a single-CPU host.
+func TestTablesDeterministicAcrossWorkers(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	env := getEnv(t)
+	opt := QuickOptions()
+
+	seq := func() string {
+		prev := obs.SetMaxWorkers(1)
+		defer obs.SetMaxWorkers(prev)
+		o := opt
+		o.Workers = 1
+		return renderComputedTables(t, env, o)
+	}()
+
+	par := opt
+	par.Workers = 8
+	parOut := renderComputedTables(t, env, par)
+	if seq != parOut {
+		t.Fatalf("tables differ between workers=1 and workers=8:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, parOut)
+	}
+
+	defOut := renderComputedTables(t, env, opt) // Workers == 0: default
+	if defOut != parOut {
+		t.Fatalf("tables differ between default workers and workers=8:\n--- default ---\n%s\n--- parallel ---\n%s", defOut, parOut)
+	}
+}
+
+// TestTablesHonourCancelledContext checks first-error/cancellation
+// propagation through the scheduler for every scheduled table.
+func TestTablesHonourCancelledContext(t *testing.T) {
+	env := getEnv(t)
+	opt := QuickOptions()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Table4(ctx, env, opt); err == nil {
+		t.Fatal("Table4: no error from cancelled context")
+	}
+	if _, err := Table5(ctx, env, opt); err == nil {
+		t.Fatal("Table5: no error from cancelled context")
+	}
+	if _, err := Table6(ctx, env, opt); err == nil {
+		t.Fatal("Table6: no error from cancelled context")
+	}
+	if _, err := Table7(ctx, env, opt); err == nil {
+		t.Fatal("Table7: no error from cancelled context")
 	}
 }

@@ -113,30 +113,58 @@ type Table4Row struct {
 
 // Table4 cross-validates all nine combos on each architecture, sweeping
 // NC for the K-driven algorithms and reporting the best-MCC setting.
+// Every (arch, combo, NC) triple is an independent CV run, so the grid
+// goes through the scheduler; the best-NC reduction walks the sweep in
+// its canonical order afterwards, exactly as the sequential loop did.
 func Table4(ctx context.Context, env *Env, opt Options) ([]Table4Row, error) {
-	var rows []Table4Row
+	type cell struct {
+		arch  string
+		d     *dataset.ArchData
+		combo Combo
+		nc    int
+	}
+	var cells []cell
 	for _, a := range env.Archs {
-		ctx, asp := obs.Start(ctx, "arch/"+a.Name)
 		d := env.Corpus.PerArch[a.Name]
 		for _, combo := range Combos() {
 			sweep := opt.NCSweep
 			if combo.Algo == semisup.AlgoMeanShift {
 				sweep = []int{0} // Mean-Shift finds its own NC
 			}
-			best := Table4Row{Arch: a.Name, Algo: combo.Name(), M: Metrics{MCC: -2}}
 			for _, nc := range sweep {
-				m, avgNC, err := cvSemi(ctx, d, combo, nc, opt)
-				if err != nil {
-					return nil, fmt.Errorf("eval: Table4 %s/%s: %w", a.Name, combo.Name(), err)
-				}
-				if m.MCC > best.M.MCC {
-					best.M = m
-					best.NC = avgNC
-				}
+				cells = append(cells, cell{a.Name, d, combo, nc})
 			}
-			rows = append(rows, best)
 		}
-		asp.End()
+	}
+	type result struct {
+		m     Metrics
+		avgNC int
+	}
+	results := make([]result, len(cells))
+	err := runCells(ctx, "table4", len(cells), opt, func(ctx context.Context, i int) error {
+		c := cells[i]
+		ctx, sp := obs.Start(ctx, "cell/"+c.arch+"/"+c.combo.Name())
+		defer sp.End()
+		m, avgNC, err := cvSemi(ctx, c.d, c.combo, c.nc, opt)
+		if err != nil {
+			return fmt.Errorf("eval: Table4 %s/%s: %w", c.arch, c.combo.Name(), err)
+		}
+		results[i] = result{m, avgNC}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table4Row
+	for i := 0; i < len(cells); {
+		best := Table4Row{Arch: cells[i].arch, Algo: cells[i].combo.Name(), M: Metrics{MCC: -2}}
+		for ; i < len(cells) && cells[i].arch == best.Arch && cells[i].combo.Name() == best.Algo; i++ {
+			if results[i].m.MCC > best.M.MCC {
+				best.M = results[i].m
+				best.NC = results[i].avgNC
+			}
+		}
+		rows = append(rows, best)
 	}
 	return rows, nil
 }
@@ -201,67 +229,91 @@ func TransferPairs(archs []gpusim.Arch) [][2]gpusim.Arch {
 
 // Table5 evaluates all combos on every transfer pair over the common
 // subset: the model is trained with source labels, then incrementally
-// relabelled with growing fractions of target labels.
+// relabelled with growing fractions of target labels. The (pair, combo)
+// cells run on the scheduler; each cell is one full CV and fills only
+// its own row.
 func Table5(ctx context.Context, env *Env, opt Options) ([]Table5Row, error) {
-	var rows []Table5Row
+	type cell struct {
+		pair  [2]gpusim.Arch
+		combo Combo
+	}
+	var cells []cell
 	for _, pair := range TransferPairs(env.Archs) {
-		src := env.Common[pair[0].Name]
-		tgt := env.Common[pair[1].Name]
-		ctx, psp := obs.Start(ctx, fmt.Sprintf("pair/%s-%s", pair[0].Name, pair[1].Name))
 		for _, combo := range Combos() {
-			row := Table5Row{
-				Pair: fmt.Sprintf("%s to %s", pair[0].Name, pair[1].Name),
-				Algo: combo.Name(),
-			}
-			folds := StratifiedFolds(tgt.Labels, opt.Folds, opt.Seed)
-			var truth [3][]int
-			var pred [3][]int
-			ncSum := 0
-			for f, test := range folds {
-				train := trainTestSplit(tgt.Len(), test)
-				cfg := semisup.Config{
-					Algorithm:   combo.Algo,
-					Rule:        combo.Rule,
-					NumClusters: opt.TransferNC,
-					Seed:        opt.Seed + int64(f),
-				}
-				// Train with SOURCE labels: the portable model.
-				m, err := semisup.TrainCtx(ctx, gather(src.Feats, train), gatherInts(src.Labels, train),
-					sparse.NumKernelFormats, cfg)
-				if err != nil {
-					return nil, fmt.Errorf("eval: Table5 %s/%s: %w", row.Pair, combo.Name(), err)
-				}
-				ncSum += m.NumClusters()
-				testX := gather(tgt.Feats, test)
-				testY := gatherInts(tgt.Labels, test)
-				for fi, frac := range RetrainFractions {
-					if frac > 0 {
-						take := int(frac * float64(len(train)))
-						if take < 1 {
-							take = 1
-						}
-						sub := train[:take]
-						if err := m.Relabel(gather(tgt.Feats, sub), gatherInts(tgt.Labels, sub)); err != nil {
-							return nil, err
-						}
-					}
-					truth[fi] = append(truth[fi], testY...)
-					pred[fi] = append(pred[fi], m.PredictAll(testX)...)
-				}
-			}
-			row.NC = ncSum / len(folds)
-			for fi := range RetrainFractions {
-				m, err := evalMetrics(truth[fi], pred[fi])
-				if err != nil {
-					return nil, err
-				}
-				row.M[fi] = m
-			}
-			rows = append(rows, row)
+			cells = append(cells, cell{pair, combo})
 		}
-		psp.End()
+	}
+	rows := make([]Table5Row, len(cells))
+	err := runCells(ctx, "table5", len(cells), opt, func(ctx context.Context, i int) error {
+		c := cells[i]
+		ctx, sp := obs.Start(ctx, fmt.Sprintf("cell/%s-%s/%s", c.pair[0].Name, c.pair[1].Name, c.combo.Name()))
+		defer sp.End()
+		row, err := transferSemiCell(ctx, env, c.pair, c.combo, opt)
+		if err != nil {
+			return err
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
+}
+
+// transferSemiCell runs one (pair, combo) cell of Table 5.
+func transferSemiCell(ctx context.Context, env *Env, pair [2]gpusim.Arch, combo Combo, opt Options) (Table5Row, error) {
+	src := env.Common[pair[0].Name]
+	tgt := env.Common[pair[1].Name]
+	row := Table5Row{
+		Pair: fmt.Sprintf("%s to %s", pair[0].Name, pair[1].Name),
+		Algo: combo.Name(),
+	}
+	folds := StratifiedFolds(tgt.Labels, opt.Folds, opt.Seed)
+	var truth [3][]int
+	var pred [3][]int
+	ncSum := 0
+	for f, test := range folds {
+		train := trainTestSplit(tgt.Len(), test)
+		cfg := semisup.Config{
+			Algorithm:   combo.Algo,
+			Rule:        combo.Rule,
+			NumClusters: opt.TransferNC,
+			Seed:        opt.Seed + int64(f),
+		}
+		// Train with SOURCE labels: the portable model.
+		m, err := semisup.TrainCtx(ctx, gather(src.Feats, train), gatherInts(src.Labels, train),
+			sparse.NumKernelFormats, cfg)
+		if err != nil {
+			return Table5Row{}, fmt.Errorf("eval: Table5 %s/%s: %w", row.Pair, combo.Name(), err)
+		}
+		ncSum += m.NumClusters()
+		testX := gather(tgt.Feats, test)
+		testY := gatherInts(tgt.Labels, test)
+		for fi, frac := range RetrainFractions {
+			if frac > 0 {
+				take := int(frac * float64(len(train)))
+				if take < 1 {
+					take = 1
+				}
+				sub := train[:take]
+				if err := m.Relabel(gather(tgt.Feats, sub), gatherInts(tgt.Labels, sub)); err != nil {
+					return Table5Row{}, err
+				}
+			}
+			truth[fi] = append(truth[fi], testY...)
+			pred[fi] = append(pred[fi], m.PredictAll(testX)...)
+		}
+	}
+	row.NC = ncSum / len(folds)
+	for fi := range RetrainFractions {
+		m, err := evalMetrics(truth[fi], pred[fi])
+		if err != nil {
+			return Table5Row{}, err
+		}
+		row.M[fi] = m
+	}
+	return row, nil
 }
 
 // ---------------------------------------------------------------------
@@ -293,43 +345,84 @@ type Table6Row struct {
 }
 
 // Table6 cross-validates the supervised baselines (plus the CNN) on
-// each architecture.
+// each architecture. A first scheduler pass fits the per-architecture
+// feature scaling; a second runs the (arch, model) CV cells.
 func Table6(ctx context.Context, env *Env, opt Options) ([]Table6Row, error) {
-	var rows []Table6Row
-	for _, a := range env.Archs {
-		ctx, asp := obs.Start(ctx, "arch/"+a.Name)
-		d := env.Corpus.PerArch[a.Name]
+	type prep struct {
+		d      *dataset.ArchData
+		feats  [][]float64
+		images [][]float64
+	}
+	preps := make([]prep, len(env.Archs))
+	err := runCells(ctx, "table6/prep", len(env.Archs), opt, func(ctx context.Context, i int) error {
+		d := env.Corpus.PerArch[env.Archs[i].Name]
 		feats, err := scaledFeatures(d)
 		if err != nil {
-			asp.End()
-			return nil, err
+			return err
 		}
-		images := env.ImagesFor(d)
-		models := SupervisedModels(opt.Seed)
-		for _, spec := range models {
-			m, err := cvSupervised(ctx, d, feats, spec.Name,
-				func() classify.Classifier { return spec.Build() }, opt)
-			if err != nil {
-				asp.End()
-				return nil, fmt.Errorf("eval: Table6 %s/%s: %w", a.Name, spec.Name, err)
-			}
-			rows = append(rows, Table6Row{Arch: a.Name, Model: spec.Name, M: m})
+		preps[i] = prep{d: d, feats: feats, images: env.ImagesFor(d)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	specs := table6Models(opt)
+	type cell struct {
+		arch string
+		prep prep
+		spec supervisedSpec
+	}
+	var cells []cell
+	for ai, a := range env.Archs {
+		for _, spec := range specs {
+			cells = append(cells, cell{a.Name, preps[ai], spec})
 		}
-		// CNN on density images.
-		cnnBuild := func() classify.Classifier {
+	}
+	rows := make([]Table6Row, len(cells))
+	err = runCells(ctx, "table6", len(cells), opt, func(ctx context.Context, i int) error {
+		c := cells[i]
+		feats := c.prep.feats
+		if c.spec.OnImages {
+			feats = c.prep.images
+		}
+		m, err := cvSupervised(ctx, c.prep.d, feats, c.spec.Name, c.spec.Build, opt)
+		if err != nil {
+			return fmt.Errorf("eval: Table6 %s/%s: %w", c.arch, c.spec.Name, err)
+		}
+		rows[i] = Table6Row{Arch: c.arch, Model: c.spec.Name, M: m}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// supervisedSpec names one supervised model family of Tables 6, 7 and 9.
+type supervisedSpec struct {
+	Name     string
+	Build    func() classify.Classifier
+	OnImages bool
+}
+
+// table6Models returns the Table 6 model list: the five classical
+// baselines plus the CNN over density images, in the paper's order.
+func table6Models(opt Options) []supervisedSpec {
+	var specs []supervisedSpec
+	for _, s := range SupervisedModels(opt.Seed) {
+		specs = append(specs, supervisedSpec{Name: s.Name, Build: s.Build})
+	}
+	specs = append(specs, supervisedSpec{
+		Name: "CNN",
+		Build: func() classify.Classifier {
 			c := classify.NewCNN(opt.Seed)
 			c.Epochs = opt.CNNEpochs
 			return c
-		}
-		m, err := cvSupervised(ctx, d, images, "CNN", cnnBuild, opt)
-		if err != nil {
-			asp.End()
-			return nil, fmt.Errorf("eval: Table6 %s/CNN: %w", a.Name, err)
-		}
-		rows = append(rows, Table6Row{Arch: a.Name, Model: "CNN", M: m})
-		asp.End()
-	}
-	return rows, nil
+		},
+		OnImages: true,
+	})
+	return specs
 }
 
 // scaledFeatures applies the paper's skew + min-max stages (no PCA, so
@@ -363,9 +456,10 @@ func cvSupervised(ctx context.Context, d *dataset.ArchData, feats [][]float64, n
 		if err := clf.Fit(gather(feats, train), gatherInts(d.Labels, train), sparse.NumKernelFormats); err != nil {
 			return SupMetrics{}, err
 		}
-		for _, i := range test {
+		preds := classify.PredictAll(clf, gather(feats, test))
+		for k, i := range test {
 			truth = append(truth, d.Labels[i])
-			pred = append(pred, clf.Predict(feats[i]))
+			pred = append(pred, preds[k])
 			times = append(times, d.Times[i])
 		}
 	}
@@ -411,60 +505,96 @@ func Table7Pairs(archs []gpusim.Arch) [][2]gpusim.Arch {
 
 // Table7 evaluates the supervised baselines in the transfer setting:
 // models are trained on source labels, with a fraction of the training
-// matrices relabelled by target benchmarking.
+// matrices relabelled by target benchmarking. A scheduler pass fits the
+// per-pair target feature scaling, then the (pair, model) CV cells fan
+// out.
 func Table7(ctx context.Context, env *Env, opt Options) ([]Table7Row, error) {
-	var rows []Table7Row
-	for _, pair := range Table7Pairs(env.Archs) {
-		src := env.Common[pair[0].Name]
-		tgt := env.Common[pair[1].Name]
-		feats, err := scaledFeatures(tgt) // identical features; scaling fit on common subset
+	pairs := Table7Pairs(env.Archs)
+	feats := make([][][]float64, len(pairs))
+	err := runCells(ctx, "table7/prep", len(pairs), opt, func(ctx context.Context, i int) error {
+		// Identical features; scaling fit on the pair's common subset.
+		f, err := scaledFeatures(env.Common[pairs[i][1].Name])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, spec := range SupervisedModels(opt.Seed) {
-			row := Table7Row{
-				Pair:  fmt.Sprintf("%s to %s", pair[0].Name, pair[1].Name),
-				Model: spec.Name,
-			}
-			_, msp := obs.Start(ctx, fmt.Sprintf("pair/%s-%s/%s", pair[0].Name, pair[1].Name, spec.Name))
-			folds := StratifiedFolds(tgt.Labels, opt.Folds, opt.Seed)
-			var truth [3][]int
-			var pred [3][]int
-			var times [3][][]float64
-			for _, test := range folds {
-				train := trainTestSplit(tgt.Len(), test)
-				for fi, frac := range RetrainFractions {
-					// Labels: source, with the first frac of the training
-					// rows re-benchmarked on the target.
-					y := gatherInts(src.Labels, train)
-					take := int(frac * float64(len(train)))
-					for k := 0; k < take; k++ {
-						y[k] = tgt.Labels[train[k]]
-					}
-					clf := classify.NewTimed(spec.Name, spec.Build())
-					if err := clf.Fit(gather(feats, train), y, sparse.NumKernelFormats); err != nil {
-						msp.End()
-						return nil, fmt.Errorf("eval: Table7 %s/%s: %w", row.Pair, spec.Name, err)
-					}
-					for _, i := range test {
-						truth[fi] = append(truth[fi], tgt.Labels[i])
-						pred[fi] = append(pred[fi], clf.Predict(feats[i]))
-						times[fi] = append(times[fi], tgt.Times[i])
-					}
-				}
-			}
-			msp.End()
-			for fi := range RetrainFractions {
-				m, err := supMetrics(truth[fi], pred[fi], times[fi])
-				if err != nil {
-					return nil, err
-				}
-				row.M[fi] = m
-			}
-			rows = append(rows, row)
+		feats[i] = f
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type cell struct {
+		pair  [2]gpusim.Arch
+		feats [][]float64
+		spec  supervisedSpec
+	}
+	var cells []cell
+	for pi, pair := range pairs {
+		for _, s := range SupervisedModels(opt.Seed) {
+			cells = append(cells, cell{pair, feats[pi], supervisedSpec{Name: s.Name, Build: s.Build}})
 		}
 	}
+	rows := make([]Table7Row, len(cells))
+	err = runCells(ctx, "table7", len(cells), opt, func(ctx context.Context, i int) error {
+		c := cells[i]
+		row, err := transferSupervisedCell(ctx, env, c.pair, c.feats, c.spec, opt)
+		if err != nil {
+			return err
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	return rows, nil
+}
+
+// transferSupervisedCell runs one (pair, model) cell of Table 7.
+func transferSupervisedCell(ctx context.Context, env *Env, pair [2]gpusim.Arch, feats [][]float64, spec supervisedSpec, opt Options) (Table7Row, error) {
+	src := env.Common[pair[0].Name]
+	tgt := env.Common[pair[1].Name]
+	row := Table7Row{
+		Pair:  fmt.Sprintf("%s to %s", pair[0].Name, pair[1].Name),
+		Model: spec.Name,
+	}
+	_, msp := obs.Start(ctx, fmt.Sprintf("cell/%s-%s/%s", pair[0].Name, pair[1].Name, spec.Name))
+	defer msp.End()
+	folds := StratifiedFolds(tgt.Labels, opt.Folds, opt.Seed)
+	var truth [3][]int
+	var pred [3][]int
+	var times [3][][]float64
+	for _, test := range folds {
+		train := trainTestSplit(tgt.Len(), test)
+		for fi, frac := range RetrainFractions {
+			// Labels: source, with the first frac of the training
+			// rows re-benchmarked on the target.
+			y := gatherInts(src.Labels, train)
+			take := int(frac * float64(len(train)))
+			for k := 0; k < take; k++ {
+				y[k] = tgt.Labels[train[k]]
+			}
+			clf := classify.NewTimed(spec.Name, spec.Build())
+			if err := clf.Fit(gather(feats, train), y, sparse.NumKernelFormats); err != nil {
+				return Table7Row{}, fmt.Errorf("eval: Table7 %s/%s: %w", row.Pair, spec.Name, err)
+			}
+			preds := classify.PredictAll(clf, gather(feats, test))
+			for k, i := range test {
+				truth[fi] = append(truth[fi], tgt.Labels[i])
+				pred[fi] = append(pred[fi], preds[k])
+				times[fi] = append(times[fi], tgt.Times[i])
+			}
+		}
+	}
+	for fi := range RetrainFractions {
+		m, err := supMetrics(truth[fi], pred[fi], times[fi])
+		if err != nil {
+			return Table7Row{}, err
+		}
+		row.M[fi] = m
+	}
+	return row, nil
 }
 
 // ---------------------------------------------------------------------
@@ -513,6 +643,9 @@ type Table9Row struct {
 // additional transfer data). Absolute values are hardware and
 // implementation specific — the paper says the same — but the ordering
 // (CNN >> classical >> K-Means labelling) is the reproducible claim.
+// Table9 deliberately stays off the cell scheduler: its rows ARE
+// wall-clock timings, and co-scheduling the fits would make each row
+// measure contention instead of the model's training cost.
 func Table9(ctx context.Context, env *Env, opt Options) ([]Table9Row, error) {
 	d := env.Common[env.Archs[0].Name]
 	feats, err := scaledFeatures(d)

@@ -3,6 +3,7 @@ package features
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -235,4 +236,83 @@ func TestQuickFeatureSanity(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
 	}
+}
+
+// TestScratchReuseMatchesFreshExtract feeds one Scratch a sequence of
+// matrices of very different shapes (so every buffer must grow, shrink
+// and be re-zeroed) and checks each vector against a fresh extraction.
+func TestScratchReuseMatchesFreshExtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var s Scratch
+	for trial := 0; trial < 40; trial++ {
+		rows := 1 + rng.Intn(200)
+		cols := 1 + rng.Intn(200)
+		tr := sparse.NewTriplet(rows, cols)
+		for n := 0; n < 1+rng.Intn(rows*4); n++ {
+			if err := tr.Add(rng.Intn(rows), rng.Intn(cols), 1+rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m := tr.ToCSR()
+		got := s.Extract(m)
+		want := Extract(m)
+		if got != want {
+			t.Fatalf("trial %d (%dx%d): reused scratch gave\n%v\nwant\n%v", trial, rows, cols, got, want)
+		}
+	}
+}
+
+// TestExtractAllMatchesSequential checks the parallel chunked path
+// against per-matrix extraction.
+func TestExtractAllMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var ms []*sparse.CSR
+	for k := 0; k < 37; k++ {
+		rows := 1 + rng.Intn(120)
+		cols := 1 + rng.Intn(120)
+		tr := sparse.NewTriplet(rows, cols)
+		for n := 0; n < 1+rng.Intn(rows*3); n++ {
+			if err := tr.Add(rng.Intn(rows), rng.Intn(cols), 1+rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ms = append(ms, tr.ToCSR())
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	all := ExtractAll(ms)
+	if len(all) != len(ms) {
+		t.Fatalf("ExtractAll returned %d vectors for %d matrices", len(all), len(ms))
+	}
+	for i, m := range ms {
+		if want := Extract(m); all[i] != want {
+			t.Fatalf("matrix %d: ExtractAll %v != Extract %v", i, all[i], want)
+		}
+	}
+}
+
+// BenchmarkExtractScratch compares the allocating and scratch-reusing
+// extraction paths on a small matrix, where the three per-call buffer
+// allocations dominate.
+func BenchmarkExtractScratch(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	tr := sparse.NewTriplet(300, 300)
+	for n := 0; n < 1500; n++ {
+		if err := tr.Add(rng.Intn(300), rng.Intn(300), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m := tr.ToCSR()
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = Extract(m)
+		}
+	})
+	b.Run("reused", func(b *testing.B) {
+		b.ReportAllocs()
+		var s Scratch
+		for i := 0; i < b.N; i++ {
+			_ = s.Extract(m)
+		}
+	})
 }

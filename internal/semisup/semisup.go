@@ -328,12 +328,16 @@ func (m *Model) PredictChecked(x []float64) (int, error) {
 	return m.ClusterLabel(m.clust.Assign(tx)), nil
 }
 
-// PredictAll classifies every row.
+// PredictAll classifies every row, fanning the rows out over the shared
+// obs worker pool. The fitted pipeline and clusterer are read-only
+// during prediction (Transform copies its input), so row-parallelism is
+// safe; the positional output keeps the result identical to a
+// sequential loop.
 func (m *Model) PredictAll(x [][]float64) []int {
 	out := make([]int, len(x))
-	for i, row := range x {
-		out[i] = m.Predict(row)
-	}
+	obs.ParallelFor(len(x), func(i int) {
+		out[i] = m.Predict(x[i])
+	})
 	return out
 }
 
