@@ -15,4 +15,11 @@ bench-obs:
 bench-parallel:
 	go run ./cmd/spmvselect benchpar -workers 8 -out BENCH_parallel.json
 
-.PHONY: check bench-obs bench-parallel
+# bench-serve regenerates BENCH_serve.json: the same matrices served
+# one request at a time vs through /v1/predict/batch, gated so the
+# batch path never regresses below sequential serving (and must beat it
+# 2x on hosts with >= 4 CPUs).
+bench-serve:
+	go run ./cmd/spmvselect benchserve -out BENCH_serve.json
+
+.PHONY: check bench-obs bench-parallel bench-serve

@@ -4,14 +4,19 @@
 # Usage: ./ci.sh [bench]
 #
 #   (no argument)  vet + build + race-enabled tests + the obs
-#                  disabled-path overhead benchmark
+#                  disabled-path overhead benchmark + two end-to-end
+#                  serving smoke tests (single-model, then the full
+#                  registry: multi-arch routing, batch, authenticated
+#                  reload, shadow evaluation and promote)
 #   bench          additionally regenerate BENCH_obs.json from an
-#                  instrumented paper-scale `table -n 9` run (minutes)
-#                  and BENCH_parallel.json from `spmvselect benchpar`,
+#                  instrumented paper-scale `table -n 9` run (minutes),
+#                  BENCH_parallel.json from `spmvselect benchpar`,
 #                  which fails when the parallel scheduler's output
 #                  differs from sequential or its speedup falls below
 #                  the machine-aware gate (3x with >= 8 CPUs; on
-#                  smaller hosts it only rejects pathological slowdown)
+#                  smaller hosts it only rejects pathological slowdown),
+#                  and BENCH_serve.json from `spmvselect benchserve`
+#                  (batched vs single-request serving, same gate idea)
 set -eu
 cd "$(dirname "$0")"
 
@@ -48,12 +53,58 @@ echo "$OUT" | grep -q '"format"' || { echo "ci: bad feature-vector prediction re
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" || { echo 'ci: serve did not exit cleanly on SIGTERM'; exit 1; }
 
+echo '== registry smoke test (multi-arch serve, batch, reload, shadow, promote)'
+ADMIN_TOKEN=ci-admin-secret
+"$SMOKE/spmvselect" train -save "$SMOKE/pascal.gob" -model knn -arch Pascal -quick >/dev/null
+"$SMOKE/spmvselect" train -save "$SMOKE/cand.gob" -model knn -arch Turing -quick -seed 5 >/dev/null
+"$SMOKE/spmvselect" serve -models "turing=$SMOKE/model.gob,pascal=$SMOKE/pascal.gob" \
+	-shadow "turing=$SMOKE/cand.gob" -admin-token "$ADMIN_TOKEN" \
+	-addr 127.0.0.1:0 -portfile "$SMOKE/port2" &
+SERVE_PID=$!
+i=0
+while [ ! -s "$SMOKE/port2" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i+1)); done
+[ -s "$SMOKE/port2" ] || { echo 'ci: registry serve never wrote its portfile'; exit 1; }
+ADDR=$(cat "$SMOKE/port2")
+i=0
+until "$SMOKE/spmvselect" request -addr "$ADDR" -get /readyz >/dev/null 2>&1; do
+	sleep 0.1; i=$((i+1))
+	[ $i -lt 100 ] || { echo 'ci: registry serve never became ready'; exit 1; }
+done
+MTX2=$(ls "$SMOKE"/mtx/*.mtx | sed -n 2p)
+OUT=$("$SMOKE/spmvselect" request -addr "$ADDR" -mtx "$MTX" -arch pascal)
+echo "$OUT" | grep -q '"arch":"pascal"' || { echo "ci: prediction not routed to pascal: $OUT"; exit 1; }
+OUT=$("$SMOKE/spmvselect" request -addr "$ADDR" -batch "$MTX,$MTX2")
+echo "$OUT" | grep -q '"count":2' || { echo "ci: bad batch response: $OUT"; exit 1; }
+echo "$OUT" | grep -q '"errors":0' || { echo "ci: batch items failed: $OUT"; exit 1; }
+if "$SMOKE/spmvselect" request -addr "$ADDR" -post /v1/admin/reload >/dev/null 2>&1; then
+	echo 'ci: unauthenticated admin reload was accepted'; exit 1
+fi
+OUT=$("$SMOKE/spmvselect" request -addr "$ADDR" -post /v1/admin/reload -token "$ADMIN_TOKEN")
+echo "$OUT" | grep -q '"changed":\[\]' || { echo "ci: reload of unchanged files swapped something: $OUT"; exit 1; }
+"$SMOKE/spmvselect" request -addr "$ADDR" -mtx "$MTX" -arch turing >/dev/null
+"$SMOKE/spmvselect" request -addr "$ADDR" -mtx "$MTX2" -arch turing >/dev/null
+SHADOW=$("$SMOKE/spmvselect" request -addr "$ADDR" -get /v1/admin/shadow -token "$ADMIN_TOKEN")
+echo "$SHADOW" | grep -q '"scored":4' || { echo "ci: shadow report did not score the turing traffic: $SHADOW"; exit 1; }
+CAND_HASH=$(echo "$SHADOW" | grep -o '"candidate_hash":"[0-9a-f]*"' | head -n 1 | cut -d'"' -f4)
+HASH_BEFORE=$("$SMOKE/spmvselect" request -addr "$ADDR" -get '/v1/model?arch=turing' | grep -o '"hash":"[0-9a-f]*"' | head -n 1 | cut -d'"' -f4)
+"$SMOKE/spmvselect" promote -addr "$ADDR" -arch turing -token "$ADMIN_TOKEN" >/dev/null
+HASH_AFTER=$("$SMOKE/spmvselect" request -addr "$ADDR" -get '/v1/model?arch=turing' | grep -o '"hash":"[0-9a-f]*"' | head -n 1 | cut -d'"' -f4)
+[ -n "$HASH_AFTER" ] || { echo 'ci: /v1/model reported no hash after promote'; exit 1; }
+[ "$HASH_AFTER" != "$HASH_BEFORE" ] || { echo 'ci: promote did not change the served model'; exit 1; }
+[ "$HASH_AFTER" = "$CAND_HASH" ] || { echo "ci: promoted hash $HASH_AFTER is not the candidate $CAND_HASH"; exit 1; }
+OUT=$("$SMOKE/spmvselect" request -addr "$ADDR" -get /v1/admin/shadow -token "$ADMIN_TOKEN")
+echo "$OUT" | grep -q '"arches":\[\]' || { echo "ci: shadow pairing survived the promote: $OUT"; exit 1; }
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo 'ci: registry serve did not exit cleanly on SIGTERM'; exit 1; }
+
 if [ "${1:-}" = bench ]; then
 	echo '== regenerating BENCH_obs.json (instrumented table -n 9, paper scale)'
 	go run ./cmd/spmvselect table -n 9 -obs :0 -report BENCH_obs.json >/dev/null
 	go run ./cmd/spmvselect report -in BENCH_obs.json -text
 	echo '== regenerating BENCH_parallel.json (sequential vs parallel tables, quick scale)'
 	go run ./cmd/spmvselect benchpar -workers 8 -out BENCH_parallel.json
+	echo '== regenerating BENCH_serve.json (single-request vs batched serving throughput)'
+	go run ./cmd/spmvselect benchserve -out BENCH_serve.json
 fi
 
 echo 'ci: all checks passed'

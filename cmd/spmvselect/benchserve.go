@@ -1,0 +1,226 @@
+package main
+
+// benchserve measures the serving path: the same set of matrices
+// predicted one HTTP request at a time versus grouped into
+// /v1/predict/batch requests, against a real loopback listener so
+// per-request overhead (connection handling, routing, body copies) is
+// part of what batching has to amortise. The result is committed as
+// BENCH_serve.json and gated so CI catches the batch path regressing
+// below plain sequential serving.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/serve"
+	"repro/internal/sparse"
+)
+
+// serveBench is the committed record of one benchserve run.
+type serveBench struct {
+	CPUs          int     `json:"cpus"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Matrices      int     `json:"matrices"`
+	BatchSize     int     `json:"batch_size"`
+	Rounds        int     `json:"rounds"`
+	SingleSeconds float64 `json:"single_seconds"`
+	BatchSeconds  float64 `json:"batch_seconds"`
+	// SingleRPS / BatchRPS are predictions per second through each path.
+	SingleRPS float64 `json:"single_rps"`
+	BatchRPS  float64 `json:"batch_rps"`
+	// Speedup = BatchRPS / SingleRPS for the same total predictions.
+	Speedup float64 `json:"speedup"`
+}
+
+func cmdBenchServe(args []string) error {
+	fs := flag.NewFlagSet("benchserve", flag.ExitOnError)
+	count := fs.Int("matrices", 24, "number of distinct matrices in the request mix")
+	batchSize := fs.Int("batch", 8, "matrices per /v1/predict/batch request")
+	rounds := fs.Int("rounds", 3, "passes over the matrix set per path")
+	clusters := fs.Int("clusters", 16, "K-Means clusters for the served model")
+	out := fs.String("out", "BENCH_serve.json", "output JSON path")
+	minSpeedup := fs.Float64("min-speedup", 0,
+		"fail below this batch/single throughput ratio; 0 picks 2.0 when the host has >= 4 CPUs and 0.80 otherwise")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *batchSize < 2 {
+		return fmt.Errorf("benchserve: -batch %d: need >= 2 to amortise anything", *batchSize)
+	}
+
+	ms, best, arch, err := labelledTrainingSet("Turing", true)
+	if err != nil {
+		return fmt.Errorf("benchserve: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchserve: training semisup on %d matrices (%s)...\n", len(ms), arch.Name)
+	sel, err := core.TrainSelector(ms, best, core.Options{NumClusters: *clusters, Seed: 1})
+	if err != nil {
+		return fmt.Errorf("benchserve: %w", err)
+	}
+	art := serve.NewSemisupArtifact(sel.Model(), arch.Name)
+
+	// The request mix reuses the corpus generator at a different seed so
+	// the served matrices are not the training set.
+	items, err := dataset.Generate(dataset.Config{
+		Seed: 99, BaseCount: *count, Scale: 0.5, DropELLFailures: true,
+	})
+	if err != nil {
+		return fmt.Errorf("benchserve: %w", err)
+	}
+	if len(items) < *count {
+		*count = len(items)
+	}
+	bodies := make([][]byte, *count)
+	for i := 0; i < *count; i++ {
+		var buf bytes.Buffer
+		if err := sparse.WriteMatrixMarket(&buf, items[i].Matrix); err != nil {
+			return fmt.Errorf("benchserve: %w", err)
+		}
+		bodies[i] = buf.Bytes()
+	}
+	// Batches use the text form — concatenated MatrixMarket files — so
+	// the server splits on banner lines instead of JSON-decoding
+	// megabytes of escaped matrix text.
+	var batchBodies [][]byte
+	for lo := 0; lo < *count; lo += *batchSize {
+		hi := min(lo+*batchSize, *count)
+		batchBodies = append(batchBodies, bytes.Join(bodies[lo:hi], nil))
+	}
+
+	// Cache disabled: round two onward must recompute, not replay the LRU.
+	srv, err := serve.NewServer(art, serve.Config{CacheSize: -1, MaxBatchItems: *count})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	server := &http.Server{Handler: srv.Handler()}
+	go server.Serve(ln)
+	defer server.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: time.Minute}
+
+	post := func(path string, body []byte, contentType string) error {
+		resp, err := client.Post(base+path, contentType, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var ans struct {
+			Errors  int    `json:"errors"`
+			Format  string `json:"format"`
+			Message string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&ans); err != nil {
+			return fmt.Errorf("POST %s: %w", path, err)
+		}
+		if resp.StatusCode != http.StatusOK || ans.Errors != 0 {
+			return fmt.Errorf("POST %s: %s (%d item errors) %s", path, resp.Status, ans.Errors, ans.Message)
+		}
+		return nil
+	}
+	singlePass := func() error {
+		for _, b := range bodies {
+			if err := post("/v1/predict/matrix", b, "text/plain"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	batchPass := func() error {
+		for _, b := range batchBodies {
+			if err := post("/v1/predict/batch", b, "text/plain"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// One untimed pass of each warms the connection pool and the scratch
+	// buffers before measurement.
+	if err := singlePass(); err != nil {
+		return fmt.Errorf("benchserve: warmup: %w", err)
+	}
+	if err := batchPass(); err != nil {
+		return fmt.Errorf("benchserve: warmup: %w", err)
+	}
+
+	fmt.Fprintf(os.Stderr, "benchserve: %d matrices x %d rounds, batch size %d...\n",
+		*count, *rounds, *batchSize)
+	// Best-of-rounds: each round serves the full matrix set, and the
+	// fastest round represents the path (scheduler noise only ever adds
+	// time).
+	timePasses := func(pass func() error) (time.Duration, error) {
+		var best time.Duration
+		for r := 0; r < *rounds; r++ {
+			start := time.Now()
+			if err := pass(); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	singleDur, err := timePasses(singlePass)
+	if err != nil {
+		return fmt.Errorf("benchserve: single pass: %w", err)
+	}
+	batchDur, err := timePasses(batchPass)
+	if err != nil {
+		return fmt.Errorf("benchserve: batch pass: %w", err)
+	}
+
+	total := float64(*count)
+	res := serveBench{
+		CPUs:          runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Matrices:      *count,
+		BatchSize:     *batchSize,
+		Rounds:        *rounds,
+		SingleSeconds: singleDur.Seconds(),
+		BatchSeconds:  batchDur.Seconds(),
+		SingleRPS:     total / singleDur.Seconds(),
+		BatchRPS:      total / batchDur.Seconds(),
+		Speedup:       singleDur.Seconds() / batchDur.Seconds(),
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchserve: %d cpus: %.0f predictions in %.2fs single (%.0f/s) vs %.2fs batched (%.0f/s), %.2fx -> %s\n",
+		res.CPUs, total, res.SingleSeconds, res.SingleRPS, res.BatchSeconds, res.BatchRPS, res.Speedup, *out)
+
+	gate := *minSpeedup
+	if gate == 0 {
+		if res.CPUs >= 4 {
+			// Batch fan-out across the obs worker pool should beat
+			// request-at-a-time serving comfortably on a multicore host.
+			gate = 2.0
+		} else {
+			// Too few cores for parallel extraction to pay; only guard
+			// against the batch path being pathologically slower than
+			// sequential requests.
+			gate = 0.80
+		}
+	}
+	if res.Speedup < gate {
+		return fmt.Errorf("benchserve: batch speedup %.2fx below the %.2fx gate", res.Speedup, gate)
+	}
+	return nil
+}

@@ -13,10 +13,16 @@
 //	spmvselect train -save FILE           fit the pipeline once and save the
 //	                                      full artifact (model + fitted
 //	                                      preprocessing + label mapping)
-//	spmvselect serve -model FILE          answer predictions over HTTP from
-//	                                      a saved artifact until SIGTERM
-//	spmvselect request -addr HOST:PORT    post one prediction request to a
-//	                                      running serve instance
+//	spmvselect serve -models arch=path,.. host one saved artifact per target
+//	                                      architecture over HTTP until SIGTERM,
+//	                                      with hot-reload (SIGHUP or the admin
+//	                                      API) and shadow evaluation
+//	spmvselect request -addr HOST:PORT    post one prediction (or batch, or
+//	                                      admin call) to a running serve
+//	spmvselect promote -addr HOST:PORT    flip an arch's shadow candidate to
+//	                                      live through the admin API
+//	spmvselect benchserve                 measure single-request vs batched
+//	                                      serving throughput (BENCH_serve.json)
 //	spmvselect cpubench -dir DIR          run the pipeline on real measured
 //	                                      host-CPU SpMV times over a
 //	                                      directory of .mtx(.gz) files
@@ -74,6 +80,10 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "request":
 		err = cmdRequest(os.Args[2:])
+	case "promote":
+		err = cmdPromote(os.Args[2:])
+	case "benchserve":
+		err = cmdBenchServe(os.Args[2:])
 	case "cpubench":
 		err = cmdCPUBench(os.Args[2:])
 	case "benchpar":
@@ -98,8 +108,12 @@ func usage() {
   spmvselect export -dir DIR [-count N] [-seed S]
   spmvselect predict -mtx FILE [-model FILE | -arch Turing [-quick]]
   spmvselect train -save FILE [-arch Turing] [-model semisup|knn|tree|forest|logreg] [-clusters K] [-quick]
-  spmvselect serve -model FILE [-addr :8080] [-portfile PATH] [-max-concurrent N] [-cache N] [-timeout D] [-obs ADDR]
-  spmvselect request -addr HOST:PORT (-mtx FILE | -features "v1,v2,...")
+  spmvselect serve (-model FILE | -models arch=path,...) [-shadow arch=path,...] [-default-arch A]
+             [-admin-token T] [-addr :8080] [-portfile PATH] [-max-concurrent N] [-max-batch N]
+             [-cache N] [-timeout D] [-obs ADDR]
+  spmvselect request -addr HOST:PORT (-mtx FILE | -batch "f1,f2,..." | -features "v1,v2,..." | -get PATH | -post PATH) [-arch A] [-token T]
+  spmvselect promote -addr HOST:PORT -token T [-arch A]
+  spmvselect benchserve [-matrices N] [-batch N] [-rounds N] [-out PATH] [-min-speedup X]
   spmvselect cpubench -dir DIR [-trials N] [-clusters K] [-quick] [-obs ADDR] [-report PATH]
   spmvselect report [-in PATH] [-text]`)
 }

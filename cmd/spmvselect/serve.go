@@ -1,9 +1,11 @@
 package main
 
 // The model-persistence and serving subcommands: train fits the
-// pipeline once and saves the artifact, serve answers predictions from
-// a saved artifact over HTTP, and request is the matching stdlib-only
-// client (so smoke tests need no curl).
+// pipeline once and saves the artifact, serve hosts one artifact per
+// target architecture behind the model registry (hot-swap on SIGHUP or
+// /v1/admin/reload, shadow evaluation, promotion), request is the
+// matching stdlib-only client (so smoke tests need no curl), and
+// promote flips a shadow candidate to live through the admin API.
 
 import (
 	"context"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/gpusim"
 	"repro/internal/obs"
+	"repro/internal/registry"
 	"repro/internal/serve"
 	"repro/internal/sparse"
 )
@@ -120,35 +123,105 @@ func cmdTrain(args []string) error {
 	return nil
 }
 
-// cmdServe answers predictions from a saved model over HTTP until
+// archPath is one arch=path pair from -models / -shadow, in flag
+// order (the first -models entry becomes the default arch).
+type archPath struct{ arch, path string }
+
+// parseArchModels splits a comma-separated list of arch=path pairs.
+func parseArchModels(flagName, spec string) ([]archPath, error) {
+	var pairs []archPath
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		arch, path, ok := strings.Cut(part, "=")
+		if !ok || strings.TrimSpace(arch) == "" || strings.TrimSpace(path) == "" {
+			return nil, fmt.Errorf("%s: %q is not an arch=path pair", flagName, part)
+		}
+		pairs = append(pairs, archPath{strings.TrimSpace(arch), strings.TrimSpace(path)})
+	}
+	return pairs, nil
+}
+
+// cmdServe hosts saved models over HTTP behind the registry until
 // SIGTERM or interrupt, then drains in-flight requests and exits.
+// SIGHUP (or an authenticated POST /v1/admin/reload) re-reads every
+// artifact file and atomically swaps in the ones whose bytes changed.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	model := fs.String("model", "", "model file written by train -save (required)")
+	model := fs.String("model", "", "single model file written by train -save; its trained arch becomes the only registry entry")
+	models := fs.String("models", "", `comma-separated arch=path model files, e.g. "turing=t.gob,pascal=p.gob" (first entry is the default arch)`)
+	shadowSpec := fs.String("shadow", "", `comma-separated arch=path candidate artifacts scored alongside the live model of the same arch`)
+	defaultArch := fs.String("default-arch", "", "arch answering requests that name none (default: the first configured)")
+	adminToken := fs.String("admin-token", "", "bearer token required by the /v1/admin/* endpoints (unset leaves them disabled: every call answers 401)")
 	addr := fs.String("addr", ":8080", "listen address (:0 picks a free port)")
 	portFile := fs.String("portfile", "", "write the bound address to this file once listening")
 	maxConc := fs.Int("max-concurrent", 0, "bound on in-flight predictions (0 = one per CPU)")
+	maxBatch := fs.Int("max-batch", 0, "max matrices per /v1/predict/batch request (0 = 64)")
 	cacheSize := fs.Int("cache", 512, "prediction LRU capacity in entries (negative disables)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout, queueing included")
 	obsAddr := fs.String("obs", "", "serve expvar+pprof (with the serve/* metrics) on this address too")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *model == "" {
-		return fmt.Errorf("serve: -model is required")
-	}
-	art, err := serve.LoadFile(*model)
+	pairs, err := parseArchModels("-models", *models)
 	if err != nil {
-		return err
+		return fmt.Errorf("serve: %w", err)
 	}
-	srv, err := serve.NewServer(art, serve.Config{
+	if *model != "" {
+		// Single-file shorthand: the artifact's trained arch names the
+		// registry entry, so `serve -model m.gob` behaves exactly like
+		// `serve -models <arch>=m.gob`.
+		art, err := serve.LoadFile(*model)
+		if err != nil {
+			return err
+		}
+		arch := serve.NormalizeArch(art.Arch)
+		if arch == "" {
+			arch = "default"
+		}
+		pairs = append(pairs, archPath{arch, *model})
+	}
+	if len(pairs) == 0 {
+		return fmt.Errorf("serve: -model or -models is required")
+	}
+	shadows, err := parseArchModels("-shadow", *shadowSpec)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	reg := registry.New()
+	for _, p := range pairs {
+		if err := reg.Configure(p.arch, p.path); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	}
+	for _, p := range shadows {
+		if err := reg.ConfigureShadow(p.arch, p.path); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	}
+	if *defaultArch != "" {
+		if err := reg.SetDefault(*defaultArch); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	}
+	srv, err := serve.NewBackendServer(reg, serve.Config{
 		MaxConcurrent: *maxConc,
 		CacheSize:     *cacheSize,
 		Timeout:       *timeout,
+		MaxBatchItems: *maxBatch,
+		AdminToken:    *adminToken,
 	})
 	if err != nil {
 		return err
 	}
+	// Every swap — reload, promote, whatever the path — must drop the
+	// prediction cache; entries keyed by the old artifact hash are
+	// unreachable anyway, but there is no reason to keep them warm.
+	reg.OnSwap(srv.FlushCache)
+
 	if *obsAddr != "" {
 		bound, stopObs, err := obs.Serve(*obsAddr)
 		if err != nil {
@@ -160,8 +233,33 @@ func cmdServe(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Load in the background so the listener binds immediately; /readyz
+	// answers 503 until every configured artifact is decoded.
+	go func() {
+		if err := reg.LoadAll(); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: loading models: %v; shutting down\n", err)
+			stop()
+		}
+	}()
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			changed, err := reg.Reload()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "serve: SIGHUP reload: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "serve: SIGHUP reload: %d artifact(s) swapped %v\n", len(changed), changed)
+		}
+	}()
+
 	return srv.Run(ctx, *addr, func(bound string) {
-		fmt.Fprintf(os.Stderr, "serve: %s model (%s) listening on http://%s\n", art.Kind, art.Arch, bound)
+		fmt.Fprintf(os.Stderr, "serve: registry %v (default %s) listening on http://%s\n",
+			reg.Arches(), reg.DefaultArch(), bound)
 		if *portFile != "" {
 			if err := os.WriteFile(*portFile, []byte(bound), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "serve: writing portfile: %v; shutting down\n", err)
@@ -171,13 +269,20 @@ func cmdServe(args []string) error {
 	})
 }
 
-// cmdRequest posts one prediction request to a running serve instance
-// and prints the JSON answer — the client half of the smoke test.
+// cmdRequest talks to a running serve instance and prints the JSON
+// answer — the client half of the smoke test. Besides the prediction
+// endpoints it can hit any GET/POST path (readiness, admin) so ci.sh
+// needs no curl.
 func cmdRequest(args []string) error {
 	fs := flag.NewFlagSet("request", flag.ExitOnError)
 	addr := fs.String("addr", "", "server address host:port (required)")
 	mtx := fs.String("mtx", "", "MatrixMarket file to submit")
+	batch := fs.String("batch", "", "comma-separated MatrixMarket files to submit as one /v1/predict/batch request")
 	featuresCSV := fs.String("features", "", "comma-separated raw feature vector to submit instead of a matrix")
+	arch := fs.String("arch", "", "route the prediction to this architecture's model")
+	get := fs.String("get", "", "GET this path (e.g. /readyz) and print the body")
+	post := fs.String("post", "", "POST an empty body to this path (e.g. /v1/admin/reload)")
+	token := fs.String("token", "", "bearer token sent as Authorization (for /v1/admin/*)")
 	timeout := fs.Duration("timeout", 30*time.Second, "request timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -185,11 +290,20 @@ func cmdRequest(args []string) error {
 	if *addr == "" {
 		return fmt.Errorf("request: -addr is required")
 	}
+	modes := 0
+	for _, set := range []bool{*mtx != "", *batch != "", *featuresCSV != "", *get != "", *post != ""} {
+		if set {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return fmt.Errorf("request: exactly one of -mtx, -batch, -features, -get or -post is required")
+	}
+
+	method := http.MethodPost
 	var path, contentType string
 	var body io.Reader
 	switch {
-	case *mtx != "" && *featuresCSV != "":
-		return fmt.Errorf("request: -mtx and -features are mutually exclusive")
 	case *mtx != "":
 		f, err := os.Open(*mtx)
 		if err != nil {
@@ -197,6 +311,25 @@ func cmdRequest(args []string) error {
 		}
 		defer f.Close()
 		path, contentType, body = "/v1/predict/matrix", "text/plain", f
+		if *arch != "" {
+			path += "?arch=" + *arch
+		}
+	case *batch != "":
+		// Batches go up in the text form — concatenated MatrixMarket
+		// files — which the server splits on banner lines without JSON
+		// decoding the matrix payloads.
+		var buf strings.Builder
+		for _, name := range strings.Split(*batch, ",") {
+			data, err := os.ReadFile(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			buf.Write(data)
+		}
+		path, contentType, body = "/v1/predict/batch", "text/plain", strings.NewReader(buf.String())
+		if *arch != "" {
+			path += "?arch=" + *arch
+		}
 	case *featuresCSV != "":
 		var vec []float64
 		for _, s := range strings.Split(*featuresCSV, ",") {
@@ -206,16 +339,34 @@ func cmdRequest(args []string) error {
 			}
 			vec = append(vec, v)
 		}
-		data, err := json.Marshal(map[string][]float64{"features": vec})
+		data, err := json.Marshal(map[string]any{"features": vec, "arch": *arch})
 		if err != nil {
 			return err
 		}
 		path, contentType, body = "/v1/predict/features", "application/json", strings.NewReader(string(data))
-	default:
-		return fmt.Errorf("request: one of -mtx or -features is required")
+	case *get != "":
+		method, path = http.MethodGet, *get
+	case *post != "":
+		path = *post
 	}
-	client := &http.Client{Timeout: *timeout}
-	resp, err := client.Post("http://"+*addr+path, contentType, body)
+	return doRequest(method, *addr, path, contentType, *token, body, *timeout)
+}
+
+// doRequest performs one HTTP exchange against a serve instance,
+// copying the response body to stdout and failing on non-200.
+func doRequest(method, addr, path, contentType, token string, body io.Reader, timeout time.Duration) error {
+	req, err := http.NewRequest(method, "http://"+addr+path, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Do(req)
 	if err != nil {
 		return err
 	}
@@ -227,4 +378,27 @@ func cmdRequest(args []string) error {
 		return fmt.Errorf("request: server answered %s", resp.Status)
 	}
 	return nil
+}
+
+// cmdPromote flips an arch's shadow candidate to live through the
+// admin API of a running serve instance: the candidate artifact starts
+// answering that arch's requests, the prediction cache is flushed, and
+// the shadow pairing is cleared.
+func cmdPromote(args []string) error {
+	fs := flag.NewFlagSet("promote", flag.ExitOnError)
+	addr := fs.String("addr", "", "server address host:port (required)")
+	arch := fs.String("arch", "", "architecture to promote (default: the server's default arch)")
+	token := fs.String("token", "", "admin bearer token (must match the server's -admin-token)")
+	timeout := fs.Duration("timeout", 30*time.Second, "request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("promote: -addr is required")
+	}
+	path := "/v1/admin/promote"
+	if *arch != "" {
+		path += "?arch=" + *arch
+	}
+	return doRequest(http.MethodPost, *addr, path, "", *token, nil, *timeout)
 }

@@ -1,0 +1,166 @@
+package registry
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/sparse"
+)
+
+// Shadow evaluation: while a candidate artifact is registered next to
+// the live one, every request the live model answers is also scored by
+// the candidate, and the registry tallies agreement atomically — no
+// lock on the request path. The resulting report (agreement rate plus
+// a live-label x candidate-label confusion matrix) is the evidence an
+// operator promotes on: it is the production analogue of the paper's
+// cross-architecture transfer experiments, measured on real traffic
+// instead of a held-out fold.
+
+// numClasses is the confusion-grid dimension. Every artifact this
+// repository trains maps labels onto the same four kernel formats, so
+// a fixed grid keeps the tallies allocation-free and atomic.
+const numClasses = sparse.NumKernelFormats
+
+// ShadowStats accumulates live-vs-candidate comparisons for one arch.
+type ShadowStats struct {
+	scored   atomic.Int64
+	agree    atomic.Int64
+	disagree atomic.Int64
+	// confusion[live*numClasses+cand] counts comparisons where the live
+	// model answered label `live` and the candidate label `cand`.
+	confusion [numClasses * numClasses]atomic.Int64
+	// outOfRange counts comparisons whose labels fell outside the grid
+	// (a foreign artifact with more formats); they still count as
+	// scored and agree/disagree.
+	outOfRange atomic.Int64
+}
+
+func newShadowStats() *ShadowStats { return &ShadowStats{} }
+
+// record tallies one comparison.
+func (s *ShadowStats) record(live, cand serve.Prediction) {
+	s.scored.Add(1)
+	if live.Label == cand.Label {
+		s.agree.Add(1)
+	} else {
+		s.disagree.Add(1)
+	}
+	if live.Label >= 0 && live.Label < numClasses && cand.Label >= 0 && cand.Label < numClasses {
+		s.confusion[live.Label*numClasses+cand.Label].Add(1)
+	} else {
+		s.outOfRange.Add(1)
+	}
+}
+
+// Reset zeroes the tallies — the comparison restarts when either side
+// of the pair is swapped.
+func (s *ShadowStats) Reset() {
+	s.scored.Store(0)
+	s.agree.Store(0)
+	s.disagree.Store(0)
+	s.outOfRange.Store(0)
+	for i := range s.confusion {
+		s.confusion[i].Store(0)
+	}
+}
+
+// Shadow metrics share the obs registry with everything else.
+var (
+	shadowScored   = obs.Default.Counter("registry/shadow/scored")
+	shadowAgree    = obs.Default.Counter("registry/shadow/agree")
+	shadowDisagree = obs.Default.Counter("registry/shadow/disagree")
+)
+
+// RecordShadow tallies one live-vs-candidate comparison for arch. A
+// race with Promote (the stats vanish between the request resolving
+// the shadow and recording) drops the sample silently — the pair it
+// describes no longer exists.
+func (r *Registry) RecordShadow(arch string, live, cand serve.Prediction) {
+	a := serve.NormalizeArch(arch)
+	r.mu.RLock()
+	st := r.stats[a]
+	r.mu.RUnlock()
+	if st == nil {
+		return
+	}
+	st.record(live, cand)
+	shadowScored.Inc()
+	if live.Label == cand.Label {
+		shadowAgree.Inc()
+	} else {
+		shadowDisagree.Inc()
+	}
+}
+
+// ArchShadowReport is the evaluation state of one live/candidate pair.
+type ArchShadowReport struct {
+	Arch          string `json:"arch"`
+	LiveHash      string `json:"live_hash,omitempty"`
+	CandidateHash string `json:"candidate_hash,omitempty"`
+	CandidatePath string `json:"candidate_path"`
+	// Scored = Agree + Disagree: every request scored by both models.
+	Scored   int64 `json:"scored"`
+	Agree    int64 `json:"agree"`
+	Disagree int64 `json:"disagree"`
+	// AgreementRate is Agree/Scored (0 when nothing scored yet).
+	AgreementRate float64 `json:"agreement_rate"`
+	// Formats names the confusion grid axes; Confusion[i][j] counts
+	// requests the live model labelled Formats[i] and the candidate
+	// Formats[j]. OutOfRange counts comparisons outside the grid.
+	Formats    []string  `json:"formats"`
+	Confusion  [][]int64 `json:"confusion"`
+	OutOfRange int64     `json:"out_of_range,omitempty"`
+}
+
+// ShadowReportData is the full /v1/admin/shadow answer.
+type ShadowReportData struct {
+	Arches []ArchShadowReport `json:"arches"`
+	// Scored and Disagree aggregate over every pair.
+	Scored   int64 `json:"scored"`
+	Disagree int64 `json:"disagree"`
+}
+
+// ShadowReport snapshots every registered live/candidate pair.
+func (r *Registry) ShadowReport() any {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	report := ShadowReportData{Arches: []ArchShadowReport{}}
+	for _, a := range r.archesLocked() {
+		ss := r.shadow[a]
+		st := r.stats[a]
+		if ss == nil || st == nil {
+			continue
+		}
+		ar := ArchShadowReport{
+			Arch:          a,
+			CandidatePath: ss.path,
+			Scored:        st.scored.Load(),
+			Agree:         st.agree.Load(),
+			Disagree:      st.disagree.Load(),
+			OutOfRange:    st.outOfRange.Load(),
+			Formats:       serve.KernelFormatNames(),
+		}
+		if ar.Scored > 0 {
+			ar.AgreementRate = float64(ar.Agree) / float64(ar.Scored)
+		}
+		if ls := r.live[a]; ls != nil && ls.entry != nil {
+			ar.LiveHash = ls.entry.Hash
+		}
+		if ss.entry != nil {
+			ar.CandidateHash = ss.entry.Hash
+		}
+		grid := make([][]int64, numClasses)
+		for i := range grid {
+			grid[i] = make([]int64, numClasses)
+			for j := range grid[i] {
+				grid[i][j] = st.confusion[i*numClasses+j].Load()
+			}
+		}
+		ar.Confusion = grid
+		report.Arches = append(report.Arches, ar)
+		report.Scored += ar.Scored
+		report.Disagree += ar.Disagree
+	}
+	return report
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"net/http"
+	"strings"
+)
+
+// The /v1/admin/* surface: reload, promote, shadow report. Admin
+// requests mutate which model answers traffic, so they refuse
+// unauthenticated callers by default — the server must be started with
+// an admin token, and every request must present it as a bearer token.
+// Comparison is constant-time over SHA-256 digests, so neither token
+// length nor a matching prefix leaks through timing.
+
+// authorized reports whether r carries the configured admin token. An
+// empty configured token authorizes nothing.
+func (s *Server) authorized(r *http.Request) bool {
+	if s.cfg.AdminToken == "" {
+		return false
+	}
+	got := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+	a := sha256.Sum256([]byte(got))
+	b := sha256.Sum256([]byte(s.cfg.AdminToken))
+	return subtle.ConstantTimeCompare(a[:], b[:]) == 1
+}
+
+// adminEndpoint wraps an admin handler with the method check, the
+// token gate and the admin metrics.
+func (s *Server) adminEndpoint(method string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.adminReqs.Inc()
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use " + method})
+			return
+		}
+		if !s.authorized(r) {
+			s.adminDenied.Inc()
+			w.Header().Set("WWW-Authenticate", `Bearer realm="spmvselect admin"`)
+			msg := "invalid admin token"
+			if s.cfg.AdminToken == "" {
+				msg = "admin API disabled: start the server with -admin-token"
+			}
+			writeJSON(w, http.StatusUnauthorized, errorResponse{Error: msg})
+			return
+		}
+		if s.admin == nil {
+			writeJSON(w, http.StatusNotImplemented,
+				errorResponse{Error: "this server hosts a static model; admin operations need the registry (-models)"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// reloadResponse is the /v1/admin/reload answer.
+type reloadResponse struct {
+	// Changed lists the hot-swapped entries ("arch", or "shadow:arch"
+	// for candidates); empty when every artifact's content hash was
+	// unchanged — reloads are idempotent.
+	Changed []string `json:"changed"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// adminReload re-reads every artifact from disk, swapping only the
+// changed ones, and flushes the prediction cache when anything swapped.
+func (s *Server) adminReload(w http.ResponseWriter, r *http.Request) {
+	changed, err := s.admin.Reload()
+	if changed == nil {
+		changed = []string{}
+	}
+	if len(changed) > 0 {
+		s.FlushCache()
+	}
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, reloadResponse{Changed: changed, Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, reloadResponse{Changed: changed})
+}
+
+// promoteResponse is the /v1/admin/promote answer.
+type promoteResponse struct {
+	Arch string `json:"arch"`
+	// Hash is the new live artifact hash (the former shadow candidate).
+	Hash string `json:"hash"`
+}
+
+// adminPromote flips ?arch='s shadow candidate to live (default arch
+// when absent) and flushes the prediction cache.
+func (s *Server) adminPromote(w http.ResponseWriter, r *http.Request) {
+	arch := r.URL.Query().Get("arch")
+	if arch == "" {
+		arch = s.backend.DefaultArch()
+	}
+	hash, err := s.admin.Promote(arch)
+	if err != nil {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	}
+	s.FlushCache()
+	writeJSON(w, http.StatusOK, promoteResponse{Arch: NormalizeArch(arch), Hash: hash})
+}
+
+// adminShadow returns the shadow evaluation report.
+func (s *Server) adminShadow(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.admin.ShadowReport())
+}

@@ -67,6 +67,15 @@ func (c *lruCache) Put(key string, val Prediction) {
 	}
 }
 
+// Flush drops every cached entry (hot-swap invalidation: the model the
+// entries were computed by is gone).
+func (c *lruCache) Flush() {
+	c.mu.Lock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+	c.mu.Unlock()
+}
+
 // Len returns the number of cached entries.
 func (c *lruCache) Len() int {
 	c.mu.Lock()

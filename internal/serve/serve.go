@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/features"
 	"repro/internal/obs"
 	"repro/internal/sparse"
 )
@@ -34,6 +35,13 @@ type Config struct {
 	// MaxBodyBytes bounds the request body (default 64 MiB — a
 	// MatrixMarket body of several million nonzeros).
 	MaxBodyBytes int64
+	// MaxBatchItems bounds the matrix count of one /v1/predict/batch
+	// request (default 64).
+	MaxBatchItems int
+	// AdminToken guards /v1/admin/*: requests must carry it as a
+	// bearer token. Empty (the default) refuses every admin request —
+	// mutation is opt-in, never accidentally open.
+	AdminToken string
 }
 
 func (c Config) withDefaults() Config {
@@ -49,79 +57,154 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 64
+	}
 	return c
 }
 
-// Server answers format predictions over HTTP from a loaded Artifact:
+// Server answers format predictions over HTTP from a model Backend —
+// a single static artifact or the multi-architecture registry:
 //
 //	GET  /healthz              liveness probe
-//	GET  /v1/model             artifact metadata
+//	GET  /readyz               per-arch load state; 503 until every
+//	                           configured artifact has loaded
+//	GET  /v1/model[?arch=X]    artifact metadata for one arch
 //	POST /v1/predict/matrix    MatrixMarket body -> prediction
-//	POST /v1/predict/features  {"features": [... 21 floats ...]} -> prediction
+//	POST /v1/predict/features  {"features": [...], "arch": "..."} -> prediction
+//	POST /v1/predict/batch     {"matrices": [...], "arch": "..."} -> predictions
+//	POST /v1/admin/reload      hot-swap changed artifacts from disk
+//	POST /v1/admin/promote     flip a shadow candidate to live
+//	GET  /v1/admin/shadow      shadow evaluation report
 //
-// Requests are bounded-concurrency (CPU-bound inference), cached by
-// request content hash, and instrumented in the obs.Default metrics
-// registry:
+// Predictions route by the request's arch (query parameter, or body
+// field on the JSON endpoints); an empty arch selects the backend's
+// default. Requests are bounded-concurrency (CPU-bound inference),
+// cached by request content hash together with the live artifact hash
+// (so a hot-swap structurally invalidates old entries), and
+// instrumented in the obs.Default metrics registry:
 //
-//	serve/requests          counter    requests accepted per endpoint path
-//	serve/errors            counter    requests answered with an error status
-//	serve/rejected          counter    requests shed (queue wait exceeded the timeout)
-//	serve/cache/hits        counter    predictions answered from the LRU
-//	serve/cache/misses      counter    predictions computed
-//	serve/inflight          gauge      predictions currently executing
-//	serve/request/seconds   histogram  end-to-end request latency
+//	serve/requests            counter    requests accepted per endpoint path
+//	serve/errors              counter    requests answered with an error status
+//	serve/rejected            counter    requests shed (queue wait exceeded the timeout)
+//	serve/cache/hits          counter    predictions answered from the LRU
+//	serve/cache/misses        counter    predictions computed
+//	serve/cache/flushes       counter    whole-cache invalidations (swap/promote)
+//	serve/batch/requests      counter    batch requests accepted
+//	serve/batch/items         counter    matrices received in batches
+//	serve/batch/item_errors   counter    batch items answered with a per-item error
+//	serve/shadow/errors       counter    shadow candidate predictions that failed
+//	serve/admin/requests      counter    admin endpoint hits
+//	serve/admin/unauthorized  counter    admin requests refused for a bad/missing token
+//	serve/inflight            gauge      predictions currently executing
+//	serve/request/seconds     histogram  end-to-end request latency
 type Server struct {
-	art   *Artifact
-	cfg   Config
-	sem   chan struct{}
-	cache *lruCache
+	backend Backend
+	admin   AdminBackend // nil when the backend has no admin surface
+	cfg     Config
+	sem     chan struct{}
+	cache   *lruCache
 
-	requests    *obs.Counter
-	errors      *obs.Counter
-	rejected    *obs.Counter
-	cacheHits   *obs.Counter
-	cacheMisses *obs.Counter
-	inflight    *obs.Gauge
-	latency     *obs.Histogram
+	requests     *obs.Counter
+	errors       *obs.Counter
+	rejected     *obs.Counter
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	cacheFlushes *obs.Counter
+	batchReqs    *obs.Counter
+	batchItems   *obs.Counter
+	batchErrors  *obs.Counter
+	shadowErrors *obs.Counter
+	adminReqs    *obs.Counter
+	adminDenied  *obs.Counter
+	inflight     *obs.Gauge
+	latency      *obs.Histogram
 }
 
-// NewServer wraps a validated artifact.
+// NewServer wraps a single validated artifact — the original
+// one-model deployment, kept as a convenience over NewBackendServer.
 func NewServer(art *Artifact, cfg Config) (*Server, error) {
-	if err := art.Validate(); err != nil {
+	b, err := NewStaticBackend(art, "")
+	if err != nil {
 		return nil, err
 	}
+	return NewBackendServer(b, cfg)
+}
+
+// NewBackendServer builds the HTTP service over any model backend.
+// When the backend also implements AdminBackend the /v1/admin/*
+// endpoints are live (still gated by Config.AdminToken).
+func NewBackendServer(b Backend, cfg Config) (*Server, error) {
+	if b == nil {
+		return nil, fmt.Errorf("serve: nil backend")
+	}
 	cfg = cfg.withDefaults()
+	admin, _ := b.(AdminBackend)
 	return &Server{
-		art:         art,
-		cfg:         cfg,
-		sem:         make(chan struct{}, cfg.MaxConcurrent),
-		cache:       newLRUCache(cfg.CacheSize),
-		requests:    obs.Default.Counter("serve/requests"),
-		errors:      obs.Default.Counter("serve/errors"),
-		rejected:    obs.Default.Counter("serve/rejected"),
-		cacheHits:   obs.Default.Counter("serve/cache/hits"),
-		cacheMisses: obs.Default.Counter("serve/cache/misses"),
-		inflight:    obs.Default.Gauge("serve/inflight"),
-		latency:     obs.Default.Histogram("serve/request/seconds", obs.DurationBuckets),
+		backend:      b,
+		admin:        admin,
+		cfg:          cfg,
+		sem:          make(chan struct{}, cfg.MaxConcurrent),
+		cache:        newLRUCache(cfg.CacheSize),
+		requests:     obs.Default.Counter("serve/requests"),
+		errors:       obs.Default.Counter("serve/errors"),
+		rejected:     obs.Default.Counter("serve/rejected"),
+		cacheHits:    obs.Default.Counter("serve/cache/hits"),
+		cacheMisses:  obs.Default.Counter("serve/cache/misses"),
+		cacheFlushes: obs.Default.Counter("serve/cache/flushes"),
+		batchReqs:    obs.Default.Counter("serve/batch/requests"),
+		batchItems:   obs.Default.Counter("serve/batch/items"),
+		batchErrors:  obs.Default.Counter("serve/batch/item_errors"),
+		shadowErrors: obs.Default.Counter("serve/shadow/errors"),
+		adminReqs:    obs.Default.Counter("serve/admin/requests"),
+		adminDenied:  obs.Default.Counter("serve/admin/unauthorized"),
+		inflight:     obs.Default.Gauge("serve/inflight"),
+		latency:      obs.Default.Histogram("serve/request/seconds", obs.DurationBuckets),
 	}, nil
 }
 
-// predictResponse is the JSON answer of both prediction endpoints.
+// FlushCache empties the prediction LRU. The registry calls it (via its
+// OnSwap hook) on every hot-swap and promotion, and the admin handlers
+// call it directly, so stale answers for a replaced model are
+// unreachable — on top of the artifact hash already being part of
+// every cache key.
+func (s *Server) FlushCache() {
+	s.cache.Flush()
+	s.cacheFlushes.Inc()
+}
+
+// predictResponse is the JSON answer of the prediction endpoints.
 type predictResponse struct {
 	Prediction
+	// Arch is the resolved architecture that answered.
+	Arch string `json:"arch"`
+	// ModelHash identifies the artifact that produced the answer; it
+	// changes on every hot-swap or promotion.
+	ModelHash string `json:"model_hash"`
 	// Cached reports whether the answer came from the content-hash LRU.
 	Cached bool `json:"cached"`
 }
 
-// modelResponse describes the loaded artifact.
+// modelResponse describes one hosted artifact.
 type modelResponse struct {
 	Kind       string   `json:"kind"`
 	Classifier string   `json:"classifier,omitempty"`
 	Arch       string   `json:"arch,omitempty"`
+	Default    bool     `json:"default,omitempty"`
 	Formats    []string `json:"formats"`
 	Features   int      `json:"features"`
 	Clusters   int      `json:"clusters,omitempty"`
 	Version    int      `json:"version"`
+	Hash       string   `json:"hash"`
+	Source     string   `json:"source,omitempty"`
+	ShadowHash string   `json:"shadow_hash,omitempty"`
+}
+
+// readyResponse is the /readyz body.
+type readyResponse struct {
+	Ready  bool         `json:"ready"`
+	Error  string       `json:"error,omitempty"`
+	Arches []ArchStatus `json:"arches"`
 }
 
 // errorResponse is the JSON error body.
@@ -136,23 +219,59 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("/v1/model", func(w http.ResponseWriter, r *http.Request) {
-		resp := modelResponse{
-			Kind:       s.art.Kind,
-			Classifier: s.art.Classifier,
-			Arch:       s.art.Arch,
-			Formats:    s.art.Formats,
-			Features:   s.art.InDim(),
-			Version:    ArtifactVersion,
-		}
-		if s.art.Kind == KindSemisup {
-			resp.Clusters = s.art.Semisup.NumClusters()
-		}
-		writeJSON(w, http.StatusOK, resp)
-	})
+	mux.HandleFunc("/readyz", s.handleReady)
+	mux.HandleFunc("/v1/model", s.handleModel)
 	mux.HandleFunc("/v1/predict/matrix", s.limited(s.predictMatrix))
 	mux.HandleFunc("/v1/predict/features", s.limited(s.predictFeatures))
+	mux.HandleFunc("/v1/predict/batch", s.limited(s.predictBatch))
+	mux.HandleFunc("/v1/admin/reload", s.adminEndpoint(http.MethodPost, s.adminReload))
+	mux.HandleFunc("/v1/admin/promote", s.adminEndpoint(http.MethodPost, s.adminPromote))
+	mux.HandleFunc("/v1/admin/shadow", s.adminEndpoint(http.MethodGet, s.adminShadow))
 	return mux
+}
+
+// handleReady reports per-arch load state: 200 once every configured
+// artifact is live, 503 (with the same body) while anything is still
+// loading or failed — the signal orchestrators gate traffic on during
+// startup and reload.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	resp := readyResponse{Arches: s.backend.Status()}
+	if err := s.backend.Ready(); err != nil {
+		resp.Error = err.Error()
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	resp.Ready = true
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleModel describes the artifact serving ?arch= (default arch when
+// absent).
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	lm, err := s.live(r.URL.Query().Get("arch"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	art := lm.Artifact
+	resp := modelResponse{
+		Kind:       art.Kind,
+		Classifier: art.Classifier,
+		Arch:       lm.Arch,
+		Default:    lm.Arch == s.backend.DefaultArch(),
+		Formats:    art.Formats,
+		Features:   art.InDim(),
+		Version:    ArtifactVersion,
+		Hash:       lm.Hash,
+		Source:     lm.Source,
+	}
+	if art.Kind == KindSemisup {
+		resp.Clusters = art.Semisup.NumClusters()
+	}
+	if cand, ok := s.backend.Shadow(lm.Arch); ok {
+		resp.ShadowHash = cand.Hash
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // httpError carries a status code with the error.
@@ -162,14 +281,34 @@ type httpError struct {
 }
 
 func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
 
 func badRequest(format string, args ...any) error {
 	return &httpError{status: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
 }
 
+// live resolves a request arch through the backend, mapping routing
+// errors to HTTP statuses: unknown arch 404, not-yet-loaded 503.
+func (s *Server) live(arch string) (LiveModel, error) {
+	lm, err := s.backend.Live(arch)
+	if err == nil {
+		return lm, nil
+	}
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownArch):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrNotLoaded):
+		status = http.StatusServiceUnavailable
+	}
+	return lm, &httpError{status: status, err: err}
+}
+
 // limited wraps a prediction handler with the request method check, the
-// per-request timeout, the concurrency bound and the metrics.
-func (s *Server) limited(h func(ctx context.Context, r *http.Request) (Prediction, bool, error)) http.HandlerFunc {
+// per-request timeout, the concurrency bound and the metrics. The
+// handler returns the full response object (predictResponse or
+// batchResponse).
+func (s *Server) limited(h func(ctx context.Context, r *http.Request) (any, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
@@ -201,23 +340,13 @@ func (s *Server) limited(h func(ctx context.Context, r *http.Request) (Predictio
 			<-s.sem
 		}()
 
-		pred, cached, err := h(ctx, r)
+		resp, err := h(ctx, r)
 		if err != nil {
 			s.errors.Inc()
-			status := http.StatusInternalServerError
-			var he *httpError
-			if errors.As(err, &he) {
-				status = he.status
-			}
-			writeJSON(w, status, errorResponse{Error: err.Error()})
+			writeError(w, err)
 			return
 		}
-		if cached {
-			s.cacheHits.Inc()
-		} else {
-			s.cacheMisses.Inc()
-		}
-		writeJSON(w, http.StatusOK, predictResponse{Prediction: pred, Cached: cached})
+		writeJSON(w, http.StatusOK, resp)
 	}
 }
 
@@ -237,59 +366,123 @@ func (s *Server) readBody(r *http.Request) ([]byte, error) {
 	return body, nil
 }
 
-// predictMatrix answers a MatrixMarket body.
-func (s *Server) predictMatrix(ctx context.Context, r *http.Request) (Prediction, bool, error) {
-	body, err := s.readBody(r)
-	if err != nil {
-		return Prediction{}, false, err
+// predictBody answers one MatrixMarket body against a resolved live
+// model: cache lookup (keyed by body content and the live artifact
+// hash), parse, extract (through the caller's scratch), predict, shadow
+// score. Shared by the single-matrix endpoint and every batch item, so
+// the two paths cannot drift.
+//
+// While a shadow candidate is registered for the arch the cache is
+// bypassed entirely: shadow evaluation wants every request scored by
+// both models, and serving the live answer from the LRU would silently
+// shrink the comparison sample.
+func (s *Server) predictBody(lm LiveModel, cand LiveModel, shadowed bool, scratch *features.Scratch, body []byte) (Prediction, bool, error) {
+	key := contentKey("matrix", lm.Hash, body)
+	if !shadowed {
+		if pred, ok := s.cache.Get(key); ok {
+			s.cacheHits.Inc()
+			return pred, true, nil
+		}
 	}
-	key := contentKey("matrix", body)
-	if pred, ok := s.cache.Get(key); ok {
-		return pred, true, nil
-	}
-	if err := ctx.Err(); err != nil {
-		return Prediction{}, false, &httpError{status: http.StatusServiceUnavailable, err: err}
-	}
+	s.cacheMisses.Inc()
 	m, err := sparse.ReadMatrixMarketBytes(body)
 	if err != nil {
 		return Prediction{}, false, badRequest("parsing MatrixMarket body: %v", err)
 	}
-	pred, err := s.art.PredictMatrix(m)
+	vec := scratch.Extract(m).Slice()
+	pred, err := lm.Artifact.Predict(vec)
 	if err != nil {
 		return Prediction{}, false, badRequest("%v", err)
 	}
-	s.cache.Put(key, pred)
+	if shadowed {
+		s.scoreShadow(lm.Arch, cand, pred, vec)
+	} else {
+		s.cache.Put(key, pred)
+	}
 	return pred, false, nil
+}
+
+// scoreShadow runs the candidate on the same feature vector and tallies
+// the live-vs-candidate comparison in the backend.
+func (s *Server) scoreShadow(arch string, cand LiveModel, live Prediction, vec []float64) {
+	cp, err := cand.Artifact.Predict(vec)
+	if err != nil {
+		s.shadowErrors.Inc()
+		return
+	}
+	s.backend.RecordShadow(arch, live, cp)
+}
+
+// predictMatrix answers a MatrixMarket body, routed by ?arch=.
+func (s *Server) predictMatrix(ctx context.Context, r *http.Request) (any, error) {
+	lm, err := s.live(r.URL.Query().Get("arch"))
+	if err != nil {
+		return nil, err
+	}
+	body, err := s.readBody(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &httpError{status: http.StatusServiceUnavailable, err: err}
+	}
+	cand, shadowed := s.backend.Shadow(lm.Arch)
+	var scratch features.Scratch
+	pred, cached, err := s.predictBody(lm, cand, shadowed, &scratch, body)
+	if err != nil {
+		return nil, err
+	}
+	return predictResponse{Prediction: pred, Arch: lm.Arch, ModelHash: lm.Hash, Cached: cached}, nil
 }
 
 // featuresRequest is the JSON body of /v1/predict/features.
 type featuresRequest struct {
 	Features []float64 `json:"features"`
+	// Arch routes the request; empty selects the default (a ?arch=
+	// query parameter also works and the body field wins).
+	Arch string `json:"arch,omitempty"`
 }
 
 // predictFeatures answers a raw feature vector.
-func (s *Server) predictFeatures(ctx context.Context, r *http.Request) (Prediction, bool, error) {
+func (s *Server) predictFeatures(ctx context.Context, r *http.Request) (any, error) {
 	body, err := s.readBody(r)
 	if err != nil {
-		return Prediction{}, false, err
-	}
-	key := contentKey("features", body)
-	if pred, ok := s.cache.Get(key); ok {
-		return pred, true, nil
-	}
-	if err := ctx.Err(); err != nil {
-		return Prediction{}, false, &httpError{status: http.StatusServiceUnavailable, err: err}
+		return nil, err
 	}
 	var req featuresRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		return Prediction{}, false, badRequest("parsing JSON body: %v", err)
+		return nil, badRequest("parsing JSON body: %v", err)
 	}
-	pred, err := s.art.Predict(req.Features)
+	arch := req.Arch
+	if arch == "" {
+		arch = r.URL.Query().Get("arch")
+	}
+	lm, err := s.live(arch)
 	if err != nil {
-		return Prediction{}, false, badRequest("%v", err)
+		return nil, err
 	}
-	s.cache.Put(key, pred)
-	return pred, false, nil
+	if err := ctx.Err(); err != nil {
+		return nil, &httpError{status: http.StatusServiceUnavailable, err: err}
+	}
+	cand, shadowed := s.backend.Shadow(lm.Arch)
+	key := contentKey("features", lm.Hash, body)
+	if !shadowed {
+		if pred, ok := s.cache.Get(key); ok {
+			s.cacheHits.Inc()
+			return predictResponse{Prediction: pred, Arch: lm.Arch, ModelHash: lm.Hash, Cached: true}, nil
+		}
+	}
+	s.cacheMisses.Inc()
+	pred, err := lm.Artifact.Predict(req.Features)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	if shadowed {
+		s.scoreShadow(lm.Arch, cand, pred, req.Features)
+	} else {
+		s.cache.Put(key, pred)
+	}
+	return predictResponse{Prediction: pred, Arch: lm.Arch, ModelHash: lm.Hash, Cached: false}, nil
 }
 
 // Run serves on addr until ctx is cancelled (SIGTERM in the CLI), then
@@ -325,13 +518,28 @@ func (s *Server) Run(ctx context.Context, addr string, ready func(bound string))
 	return nil
 }
 
-// contentKey hashes an endpoint-qualified request body.
-func contentKey(endpoint string, body []byte) string {
+// contentKey hashes an endpoint-qualified request body together with
+// the live artifact hash, so entries cached under a replaced model can
+// never answer a request served by its successor.
+func contentKey(endpoint, modelHash string, body []byte) string {
 	h := sha256.New()
 	io.WriteString(h, endpoint)
 	h.Write([]byte{0})
+	io.WriteString(h, modelHash)
+	h.Write([]byte{0})
 	h.Write(body)
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeError renders err as its JSON error body, honouring an embedded
+// httpError status.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		status = he.status
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

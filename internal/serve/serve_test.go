@@ -20,14 +20,15 @@ import (
 
 // testServer builds a server over a small semisup artifact plus one
 // corpus matrix (as MatrixMarket bytes) to predict on.
-func testServer(t *testing.T, cfg Config) (*Server, *sparse.CSR, []byte) {
+func testServer(t *testing.T, cfg Config) (*Server, *Artifact, *sparse.CSR, []byte) {
 	t.Helper()
 	ms, best := labelledCorpus(t, "Turing")
 	sel, err := core.TrainSelector(ms, best, core.Options{NumClusters: 10, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := NewServer(NewSemisupArtifact(sel.Model(), "Turing"), cfg)
+	art := NewSemisupArtifact(sel.Model(), "Turing")
+	srv, err := NewServer(art, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func testServer(t *testing.T, cfg Config) (*Server, *sparse.CSR, []byte) {
 	if err := sparse.WriteMatrixMarket(&mm, ms[0]); err != nil {
 		t.Fatal(err)
 	}
-	return srv, ms[0], mm.Bytes()
+	return srv, art, ms[0], mm.Bytes()
 }
 
 func postJSON(t *testing.T, h http.Handler, path string, body []byte) (*httptest.ResponseRecorder, map[string]any) {
@@ -51,7 +52,7 @@ func postJSON(t *testing.T, h http.Handler, path string, body []byte) (*httptest
 }
 
 func TestServeEndpoints(t *testing.T) {
-	srv, m, mm := testServer(t, Config{})
+	srv, art, m, mm := testServer(t, Config{})
 	h := srv.Handler()
 
 	// Liveness.
@@ -74,7 +75,7 @@ func TestServeEndpoints(t *testing.T) {
 
 	// Matrix prediction, then the same body again: second answer must be
 	// the cache hit.
-	want := srv.art.MustPredict(t, m)
+	want := art.MustPredict(t, m)
 	rec, out := postJSON(t, h, "/v1/predict/matrix", mm)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("matrix predict: %d %s", rec.Code, rec.Body.String())
@@ -118,7 +119,7 @@ func (a *Artifact) MustPredict(t *testing.T, m *sparse.CSR) Prediction {
 }
 
 func TestServeErrorPaths(t *testing.T) {
-	srv, _, mm := testServer(t, Config{MaxBodyBytes: int64(len(mmHeaderOnly))})
+	srv, _, _, mm := testServer(t, Config{MaxBodyBytes: int64(len(mmHeaderOnly))})
 	h := srv.Handler()
 
 	// Wrong method.
@@ -169,7 +170,7 @@ var mmHeaderOnly = "%%MatrixMarket matrix coordinate real general\n1 1 1\n"
 // checks the next request is shed with 503 (and counted) instead of
 // queueing forever.
 func TestServeShedsLoadWhenSaturated(t *testing.T) {
-	srv, _, mm := testServer(t, Config{MaxConcurrent: 1, Timeout: 50 * time.Millisecond})
+	srv, _, _, mm := testServer(t, Config{MaxConcurrent: 1, Timeout: 50 * time.Millisecond})
 	srv.sem <- struct{}{} // occupy the only slot
 	defer func() { <-srv.sem }()
 
@@ -186,9 +187,9 @@ func TestServeShedsLoadWhenSaturated(t *testing.T) {
 // TestServeConcurrentRequests hammers the handler from many goroutines
 // — meaningful under -race — and checks every answer is consistent.
 func TestServeConcurrentRequests(t *testing.T) {
-	srv, m, mm := testServer(t, Config{MaxConcurrent: 4, CacheSize: 2})
+	srv, art, m, mm := testServer(t, Config{MaxConcurrent: 4, CacheSize: 2})
 	h := srv.Handler()
-	want := srv.art.MustPredict(t, m)
+	want := art.MustPredict(t, m)
 	featBody, _ := json.Marshal(featuresRequest{Features: features.Extract(m).Slice()})
 
 	var wg sync.WaitGroup
@@ -227,7 +228,7 @@ func TestServeConcurrentRequests(t *testing.T) {
 // TestServeRunGracefulShutdown starts a real listener, makes one
 // request, cancels the context and expects a clean return.
 func TestServeRunGracefulShutdown(t *testing.T) {
-	srv, _, mm := testServer(t, Config{})
+	srv, _, _, mm := testServer(t, Config{})
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
