@@ -5,7 +5,9 @@
 #
 #   (no argument)  vet + build + race-enabled tests + the obs
 #                  disabled-path overhead benchmark + two end-to-end
-#                  serving smoke tests (single-model, then the full
+#                  serving smoke tests (single-model with telemetry:
+#                  access-log trace IDs, the Prometheus /metrics
+#                  exposition and `monitor -once`; then the full
 #                  registry: multi-arch routing, batch, authenticated
 #                  reload, shadow evaluation and promote)
 #   bench          additionally regenerate BENCH_obs.json from an
@@ -32,24 +34,45 @@ go test -race ./...
 echo '== obs disabled-path overhead (budget: < 2 ns/op, see internal/obs)'
 go test -run - -bench BenchmarkObsOverhead -benchtime 100x . ./internal/obs
 
-echo '== serve smoke test (train -save, serve, request, SIGTERM)'
+echo '== serve smoke test (train -save, serve, request, telemetry, SIGTERM)'
 SMOKE=$(mktemp -d)
 trap 'rm -rf "$SMOKE"' EXIT
+ADMIN_TOKEN=ci-admin-secret
 go build -o "$SMOKE/spmvselect" ./cmd/spmvselect
 "$SMOKE/spmvselect" train -save "$SMOKE/model.gob" -quick -clusters 16 >/dev/null
 "$SMOKE/spmvselect" export -dir "$SMOKE/mtx" -count 2 -seed 4 >/dev/null
 MTX=$(ls "$SMOKE"/mtx/*.mtx | head -n 1)
-"$SMOKE/spmvselect" serve -model "$SMOKE/model.gob" -addr 127.0.0.1:0 -portfile "$SMOKE/port" &
+"$SMOKE/spmvselect" serve -model "$SMOKE/model.gob" -addr 127.0.0.1:0 -portfile "$SMOKE/port" \
+	-admin-token "$ADMIN_TOKEN" -access-log "$SMOKE/access.log" &
 SERVE_PID=$!
 i=0
 while [ ! -s "$SMOKE/port" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i+1)); done
 [ -s "$SMOKE/port" ] || { echo 'ci: serve never wrote its portfile'; exit 1; }
 ADDR=$(cat "$SMOKE/port")
-OUT=$("$SMOKE/spmvselect" request -addr "$ADDR" -mtx "$MTX")
+OUT=$("$SMOKE/spmvselect" request -addr "$ADDR" -mtx "$MTX" -request-id trace-ci-42)
 echo "$OUT" | grep -q '"format"' || { echo "ci: bad matrix prediction response: $OUT"; exit 1; }
 ZEROS='0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0'
 OUT=$("$SMOKE/spmvselect" request -addr "$ADDR" -features "$ZEROS")
 echo "$OUT" | grep -q '"format"' || { echo "ci: bad feature-vector prediction response: $OUT"; exit 1; }
+# The access log must carry exactly the one line tagged with the trace
+# ID the client sent, as structured JSON.
+N=$(grep -c '"trace_id":"trace-ci-42"' "$SMOKE/access.log" || true)
+[ "$N" = 1 ] || { echo "ci: access log has $N lines for trace-ci-42, want 1"; cat "$SMOKE/access.log"; exit 1; }
+grep '"trace_id":"trace-ci-42"' "$SMOKE/access.log" | grep -q '"path":"/v1/predict/matrix"' \
+	|| { echo 'ci: traced access-log line lacks the request path'; exit 1; }
+# The Prometheus exposition must include the labeled request metrics
+# fed by the traffic above.
+METRICS=$("$SMOKE/spmvselect" request -addr "$ADDR" -get /metrics)
+echo "$METRICS" | grep -q '^spmvselect_serve_predictions_total{' \
+	|| { echo 'ci: /metrics lacks the per-arch prediction counter'; exit 1; }
+echo "$METRICS" | grep -q '^spmvselect_serve_http_seconds_bucket{' \
+	|| { echo 'ci: /metrics lacks the request latency histogram'; exit 1; }
+echo "$METRICS" | grep -q 'spmvselect_slo_availability{window="1m"}' \
+	|| { echo 'ci: /metrics lacks the SLO availability gauge'; exit 1; }
+# monitor -once re-scrapes everything (readiness, metrics, SLO, drift)
+# and exits non-zero when any telemetry family is missing.
+"$SMOKE/spmvselect" monitor -addr "$ADDR" -token "$ADMIN_TOKEN" -once >/dev/null \
+	|| { echo 'ci: monitor -once failed against a live server'; exit 1; }
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" || { echo 'ci: serve did not exit cleanly on SIGTERM'; exit 1; }
 

@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -24,6 +25,37 @@ import (
 	"repro/internal/serve"
 	"repro/internal/sparse"
 )
+
+// latencyQuantiles summarises the per-request latencies of one endpoint
+// across every timed round.
+type latencyQuantiles struct {
+	Requests int     `json:"requests"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+// quantiles computes the summary by nearest-rank over the recorded
+// request durations.
+func quantiles(durs []time.Duration) latencyQuantiles {
+	if len(durs) == 0 {
+		return latencyQuantiles{}
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return float64(sorted[i]) / float64(time.Millisecond)
+	}
+	return latencyQuantiles{
+		Requests: len(sorted),
+		P50Ms:    at(0.50),
+		P95Ms:    at(0.95),
+		P99Ms:    at(0.99),
+		MaxMs:    float64(sorted[len(sorted)-1]) / float64(time.Millisecond),
+	}
+}
 
 // serveBench is the committed record of one benchserve run.
 type serveBench struct {
@@ -39,6 +71,11 @@ type serveBench struct {
 	BatchRPS  float64 `json:"batch_rps"`
 	// Speedup = BatchRPS / SingleRPS for the same total predictions.
 	Speedup float64 `json:"speedup"`
+	// Per-request HTTP latency quantiles over every timed round; one
+	// batch request carries -batch matrices, so its latencies are not
+	// per-prediction.
+	SingleLatency latencyQuantiles `json:"single_latency"`
+	BatchLatency  latencyQuantiles `json:"batch_latency"`
 }
 
 func cmdBenchServe(args []string) error {
@@ -111,7 +148,10 @@ func cmdBenchServe(args []string) error {
 	base := "http://" + ln.Addr().String()
 	client := &http.Client{Timeout: time.Minute}
 
-	post := func(path string, body []byte, contentType string) error {
+	// post times each request; lat != nil collects the duration (timed
+	// rounds record, warmup passes nil and stays out of the quantiles).
+	post := func(path string, body []byte, contentType string, lat *[]time.Duration) error {
+		start := time.Now()
 		resp, err := client.Post(base+path, contentType, bytes.NewReader(body))
 		if err != nil {
 			return err
@@ -125,22 +165,34 @@ func cmdBenchServe(args []string) error {
 		if err := json.NewDecoder(resp.Body).Decode(&ans); err != nil {
 			return fmt.Errorf("POST %s: %w", path, err)
 		}
+		if lat != nil {
+			*lat = append(*lat, time.Since(start))
+		}
 		if resp.StatusCode != http.StatusOK || ans.Errors != 0 {
 			return fmt.Errorf("POST %s: %s (%d item errors) %s", path, resp.Status, ans.Errors, ans.Message)
 		}
 		return nil
 	}
-	singlePass := func() error {
+	var singleLat, batchLat []time.Duration
+	singlePass := func(record bool) error {
+		lat := &singleLat
+		if !record {
+			lat = nil
+		}
 		for _, b := range bodies {
-			if err := post("/v1/predict/matrix", b, "text/plain"); err != nil {
+			if err := post("/v1/predict/matrix", b, "text/plain", lat); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	batchPass := func() error {
+	batchPass := func(record bool) error {
+		lat := &batchLat
+		if !record {
+			lat = nil
+		}
 		for _, b := range batchBodies {
-			if err := post("/v1/predict/batch", b, "text/plain"); err != nil {
+			if err := post("/v1/predict/batch", b, "text/plain", lat); err != nil {
 				return err
 			}
 		}
@@ -149,10 +201,10 @@ func cmdBenchServe(args []string) error {
 
 	// One untimed pass of each warms the connection pool and the scratch
 	// buffers before measurement.
-	if err := singlePass(); err != nil {
+	if err := singlePass(false); err != nil {
 		return fmt.Errorf("benchserve: warmup: %w", err)
 	}
-	if err := batchPass(); err != nil {
+	if err := batchPass(false); err != nil {
 		return fmt.Errorf("benchserve: warmup: %w", err)
 	}
 
@@ -161,11 +213,11 @@ func cmdBenchServe(args []string) error {
 	// Best-of-rounds: each round serves the full matrix set, and the
 	// fastest round represents the path (scheduler noise only ever adds
 	// time).
-	timePasses := func(pass func() error) (time.Duration, error) {
+	timePasses := func(pass func(record bool) error) (time.Duration, error) {
 		var best time.Duration
 		for r := 0; r < *rounds; r++ {
 			start := time.Now()
-			if err := pass(); err != nil {
+			if err := pass(true); err != nil {
 				return 0, err
 			}
 			if d := time.Since(start); best == 0 || d < best {
@@ -195,6 +247,8 @@ func cmdBenchServe(args []string) error {
 		SingleRPS:     total / singleDur.Seconds(),
 		BatchRPS:      total / batchDur.Seconds(),
 		Speedup:       singleDur.Seconds() / batchDur.Seconds(),
+		SingleLatency: quantiles(singleLat),
+		BatchLatency:  quantiles(batchLat),
 	}
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -205,6 +259,9 @@ func cmdBenchServe(args []string) error {
 	}
 	fmt.Printf("benchserve: %d cpus: %.0f predictions in %.2fs single (%.0f/s) vs %.2fs batched (%.0f/s), %.2fx -> %s\n",
 		res.CPUs, total, res.SingleSeconds, res.SingleRPS, res.BatchSeconds, res.BatchRPS, res.Speedup, *out)
+	fmt.Printf("benchserve: single latency p50 %.2fms p95 %.2fms p99 %.2fms; batch p50 %.2fms p95 %.2fms p99 %.2fms\n",
+		res.SingleLatency.P50Ms, res.SingleLatency.P95Ms, res.SingleLatency.P99Ms,
+		res.BatchLatency.P50Ms, res.BatchLatency.P95Ms, res.BatchLatency.P99Ms)
 
 	gate := *minSpeedup
 	if gate == 0 {

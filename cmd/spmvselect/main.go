@@ -21,6 +21,9 @@
 //	                                      admin call) to a running serve
 //	spmvselect promote -addr HOST:PORT    flip an arch's shadow candidate to
 //	                                      live through the admin API
+//	spmvselect monitor -addr HOST:PORT    poll a running serve instance's
+//	                                      /metrics, SLO and drift endpoints and
+//	                                      render a terminal status table
 //	spmvselect benchserve                 measure single-request vs batched
 //	                                      serving throughput (BENCH_serve.json)
 //	spmvselect cpubench -dir DIR          run the pipeline on real measured
@@ -82,6 +85,8 @@ func main() {
 		err = cmdRequest(os.Args[2:])
 	case "promote":
 		err = cmdPromote(os.Args[2:])
+	case "monitor":
+		err = cmdMonitor(os.Args[2:])
 	case "benchserve":
 		err = cmdBenchServe(os.Args[2:])
 	case "cpubench":
@@ -110,9 +115,10 @@ func usage() {
   spmvselect train -save FILE [-arch Turing] [-model semisup|knn|tree|forest|logreg] [-clusters K] [-quick]
   spmvselect serve (-model FILE | -models arch=path,...) [-shadow arch=path,...] [-default-arch A]
              [-admin-token T] [-addr :8080] [-portfile PATH] [-max-concurrent N] [-max-batch N]
-             [-cache N] [-timeout D] [-obs ADDR]
-  spmvselect request -addr HOST:PORT (-mtx FILE | -batch "f1,f2,..." | -features "v1,v2,..." | -get PATH | -post PATH) [-arch A] [-token T]
+             [-cache N] [-timeout D] [-obs ADDR] [-access-log PATH] [-slo-target X]
+  spmvselect request -addr HOST:PORT (-mtx FILE | -batch "f1,f2,..." | -features "v1,v2,..." | -get PATH | -post PATH) [-arch A] [-token T] [-request-id ID]
   spmvselect promote -addr HOST:PORT -token T [-arch A]
+  spmvselect monitor -addr HOST:PORT [-token T] [-interval D] [-once]
   spmvselect benchserve [-matrices N] [-batch N] [-rounds N] [-out PATH] [-min-speedup X]
   spmvselect cpubench -dir DIR [-trials N] [-clusters K] [-quick] [-obs ADDR] [-report PATH]
   spmvselect report [-in PATH] [-text]`)

@@ -1,0 +1,218 @@
+package main
+
+// The monitor subcommand: a terminal dashboard over a running serve
+// instance's telemetry endpoints. It polls /readyz and /metrics (and,
+// given the admin token, /v1/admin/slo and /v1/admin/drift), computes
+// request rates by differencing counters between polls, and renders one
+// status table per tick. With -once it takes a single sample and exits
+// non-zero when anything it needs is missing — the form ci.sh runs as a
+// telemetry smoke test.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/registry"
+)
+
+// monitorSample is one poll of the server's telemetry surface.
+type monitorSample struct {
+	when    time.Time
+	ready   bool
+	metrics *obs.PromMetrics
+	slo     *obs.SLOReport
+	drift   *registry.DriftReportData
+}
+
+func cmdMonitor(args []string) error {
+	fs := flag.NewFlagSet("monitor", flag.ExitOnError)
+	addr := fs.String("addr", "", "server address host:port (required)")
+	token := fs.String("token", "", "admin bearer token; unlocks the SLO and drift panels")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	once := fs.Bool("once", false, "take one sample, print it, and exit (non-zero when telemetry is missing)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-poll request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("monitor: -addr is required")
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	var prev *monitorSample
+	for {
+		cur, err := pollServer(client, *addr, *token)
+		if err != nil {
+			if *once {
+				return fmt.Errorf("monitor: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "monitor: %v\n", err)
+		} else {
+			renderMonitor(os.Stdout, *addr, prev, cur)
+			prev = cur
+		}
+		if *once {
+			// One-shot smoke mode: beyond fetching and parsing, the core
+			// request-telemetry families must actually be exposed.
+			for _, fam := range []string{"spmvselect_serve_http_seconds", "spmvselect_serve_http_requests_total", "spmvselect_slo_availability"} {
+				if _, ok := cur.metrics.Types[fam]; !ok {
+					return fmt.Errorf("monitor: /metrics is missing the %s family", fam)
+				}
+			}
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// pollServer samples every telemetry endpoint once. /metrics failing to
+// fetch or parse is an error (the dashboard is useless without it);
+// admin endpoints are skipped silently when no token was given.
+func pollServer(client *http.Client, addr, token string) (*monitorSample, error) {
+	s := &monitorSample{when: time.Now()}
+
+	resp, err := client.Get("http://" + addr + "/readyz")
+	if err != nil {
+		return nil, fmt.Errorf("polling /readyz: %w", err)
+	}
+	resp.Body.Close()
+	s.ready = resp.StatusCode == http.StatusOK
+
+	resp, err = client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("polling /metrics: %w", err)
+	}
+	s.metrics, err = obs.ParsePrometheus(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("parsing /metrics: %w", err)
+	}
+
+	if token != "" {
+		var slo obs.SLOReport
+		if err := getJSON(client, addr, "/v1/admin/slo", token, &slo); err != nil {
+			return nil, err
+		}
+		s.slo = &slo
+		var drift registry.DriftReportData
+		err := getJSON(client, addr, "/v1/admin/drift", token, &drift)
+		switch {
+		case err == nil:
+			s.drift = &drift
+		case strings.Contains(err.Error(), "501"):
+			// Static backend: no drift monitor, not an error.
+		default:
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func getJSON(client *http.Client, addr, path, token string, out any) error {
+	req, err := http.NewRequest(http.MethodGet, "http://"+addr+path, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("polling %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("polling %s: server answered %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("decoding %s: %w", path, err)
+	}
+	return nil
+}
+
+// predictionsByArch sums the served-prediction counter per arch.
+func predictionsByArch(m *obs.PromMetrics) map[string]float64 {
+	out := map[string]float64{}
+	for _, smp := range m.Samples {
+		if smp.Name == "spmvselect_serve_predictions_total" {
+			out[smp.Labels["arch"]] += smp.Value
+		}
+	}
+	return out
+}
+
+func renderMonitor(w *os.File, addr string, prev, cur *monitorSample) {
+	status := "NOT READY"
+	if cur.ready {
+		status = "ready"
+	}
+	fmt.Fprintf(w, "\n%s  %s  [%s]\n", cur.when.Format("15:04:05"), addr, status)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+
+	// Predictions per arch, with a rate when a previous sample exists.
+	curBy := predictionsByArch(cur.metrics)
+	var arches []string
+	for a := range curBy {
+		arches = append(arches, a)
+	}
+	sort.Strings(arches)
+	var prevBy map[string]float64
+	var dt float64
+	if prev != nil {
+		prevBy = predictionsByArch(prev.metrics)
+		dt = cur.when.Sub(prev.when).Seconds()
+	}
+	fmt.Fprintln(tw, "ARCH\tPREDICTIONS\tRATE")
+	for _, a := range arches {
+		rate := "-"
+		if dt > 0 {
+			rate = fmt.Sprintf("%.1f/s", (curBy[a]-prevBy[a])/dt)
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%s\n", a, curBy[a], rate)
+	}
+	if len(arches) == 0 {
+		fmt.Fprintln(tw, "-\t0\t-")
+	}
+	tw.Flush()
+
+	if cur.slo != nil {
+		fmt.Fprintln(tw, "\nWINDOW\tREQS\tERRS\tAVAIL\tBURN\tP50\tP95\tP99")
+		for _, win := range cur.slo.Windows {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%.4f\t%.1f\t%s\t%s\t%s\n",
+				win.Window, win.Requests, win.Errors, win.Availability, win.BurnRate,
+				fmtLatency(win.P50), fmtLatency(win.P95), fmtLatency(win.P99))
+		}
+		tw.Flush()
+	}
+
+	if cur.drift != nil {
+		fmt.Fprintln(tw, "\nARCH\tSIGNAL\tSAMPLES\tPSI\tSTATE")
+		for _, ar := range cur.drift.Arches {
+			for _, sg := range ar.Signals {
+				state := "ok"
+				if sg.Alert {
+					state = "ALERT"
+				}
+				fmt.Fprintf(tw, "%s\t%s\t%d\t%.3f\t%s\n", ar.Arch, sg.Signal, sg.Samples, sg.PSI, state)
+			}
+		}
+		if len(cur.drift.Arches) == 0 {
+			fmt.Fprintln(tw, "-\t(no baselines installed)\t-\t-\t-")
+		}
+		tw.Flush()
+	}
+}
+
+func fmtLatency(seconds float64) string {
+	if seconds <= 0 {
+		return "-"
+	}
+	return time.Duration(seconds * float64(time.Second)).Round(10 * time.Microsecond).String()
+}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -102,6 +103,9 @@ func cmdTrain(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "training %s on %d matrices labelled for %s...\n", *model, len(ms), arch.Name)
 
+	x := features.Matrix(features.ExtractAll(ms))
+	y := formatLabels(best)
+
 	var art *serve.Artifact
 	if *model == "semisup" {
 		sel, err := core.TrainSelector(ms, best, core.Options{NumClusters: *clusters, Seed: *seed})
@@ -110,12 +114,14 @@ func cmdTrain(args []string) error {
 		}
 		art = serve.NewSemisupArtifact(sel.Model(), arch.Name)
 	} else {
-		x := features.Matrix(features.ExtractAll(ms))
-		art, err = serve.TrainClassifierArtifact(*model, arch.Name, x, formatLabels(best), *seed)
+		art, err = serve.TrainClassifierArtifact(*model, arch.Name, x, y, *seed)
 		if err != nil {
 			return fmt.Errorf("train: %w", err)
 		}
 	}
+	// The training distribution travels with the model so the registry
+	// can monitor served traffic for drift against it.
+	art.Baseline = serve.ComputeBaseline(x, y, sparse.NumKernelFormats)
 	if err := serve.SaveFile(*save, art); err != nil {
 		return err
 	}
@@ -162,6 +168,8 @@ func cmdServe(args []string) error {
 	cacheSize := fs.Int("cache", 512, "prediction LRU capacity in entries (negative disables)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout, queueing included")
 	obsAddr := fs.String("obs", "", "serve expvar+pprof (with the serve/* metrics) on this address too")
+	accessLog := fs.String("access-log", "", `write one JSON access-log line per request here ("-" for stderr)`)
+	sloTarget := fs.Float64("slo-target", 0, "availability objective for the SLO windows and burn rates (default 0.999)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -207,12 +215,28 @@ func cmdServe(args []string) error {
 			return fmt.Errorf("serve: %w", err)
 		}
 	}
+	var logger *slog.Logger
+	if *accessLog != "" {
+		w := io.Writer(os.Stderr)
+		if *accessLog != "-" {
+			f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("serve: opening access log: %w", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		logger = slog.New(slog.NewJSONHandler(w, nil))
+	}
+
 	srv, err := serve.NewBackendServer(reg, serve.Config{
 		MaxConcurrent: *maxConc,
 		CacheSize:     *cacheSize,
 		Timeout:       *timeout,
 		MaxBatchItems: *maxBatch,
 		AdminToken:    *adminToken,
+		AccessLog:     logger,
+		SLOObjective:  *sloTarget,
 	})
 	if err != nil {
 		return err
@@ -283,6 +307,7 @@ func cmdRequest(args []string) error {
 	get := fs.String("get", "", "GET this path (e.g. /readyz) and print the body")
 	post := fs.String("post", "", "POST an empty body to this path (e.g. /v1/admin/reload)")
 	token := fs.String("token", "", "bearer token sent as Authorization (for /v1/admin/*)")
+	requestID := fs.String("request-id", "", "send this X-Request-ID so the call is findable in the server's access log")
 	timeout := fs.Duration("timeout", 30*time.Second, "request timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -349,12 +374,16 @@ func cmdRequest(args []string) error {
 	case *post != "":
 		path = *post
 	}
-	return doRequest(method, *addr, path, contentType, *token, body, *timeout)
+	return doRequestID(method, *addr, path, contentType, *token, *requestID, body, *timeout)
 }
 
 // doRequest performs one HTTP exchange against a serve instance,
 // copying the response body to stdout and failing on non-200.
 func doRequest(method, addr, path, contentType, token string, body io.Reader, timeout time.Duration) error {
+	return doRequestID(method, addr, path, contentType, token, "", body, timeout)
+}
+
+func doRequestID(method, addr, path, contentType, token, requestID string, body io.Reader, timeout time.Duration) error {
 	req, err := http.NewRequest(method, "http://"+addr+path, body)
 	if err != nil {
 		return err
@@ -364,6 +393,9 @@ func doRequest(method, addr, path, contentType, token string, body io.Reader, ti
 	}
 	if token != "" {
 		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	if requestID != "" {
+		req.Header.Set("X-Request-ID", requestID)
 	}
 	client := &http.Client{Timeout: timeout}
 	resp, err := client.Do(req)

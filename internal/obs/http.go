@@ -18,11 +18,14 @@ var publishOnce sync.Once
 // Serve starts a debug HTTP server on addr (":6060", ":0" for an
 // ephemeral port) exposing
 //
+//	/metrics            Prometheus text exposition of the default registry
 //	/debug/vars         expvar, including the default registry under "spmvselect_obs"
 //	/debug/pprof/...    net/http/pprof profiles (heap, cpu, trace, ...)
 //
 // It returns the bound address and a stop function. The server uses its
-// own mux, so nothing leaks onto http.DefaultServeMux.
+// own mux, so nothing leaks onto http.DefaultServeMux. The stop
+// function is idempotent and safe to call from several goroutines:
+// every call returns the close error of the single underlying Close.
 func Serve(addr string) (bound string, stop func() error, err error) {
 	publishOnce.Do(func() {
 		expvar.Publish("spmvselect_obs", expvar.Func(func() any {
@@ -34,6 +37,7 @@ func Serve(addr string) (bound string, stop func() error, err error) {
 		return "", nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
+	mux.Handle("/metrics", PromHandler(Default))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -45,5 +49,11 @@ func Serve(addr string) (bound string, stop func() error, err error) {
 		// Serve returns ErrServerClosed on Close; nothing to report.
 		_ = srv.Serve(ln)
 	}()
-	return ln.Addr().String(), srv.Close, nil
+	var stopOnce sync.Once
+	var stopErr error
+	stop = func() error {
+		stopOnce.Do(func() { stopErr = srv.Close() })
+		return stopErr
+	}
+	return ln.Addr().String(), stop, nil
 }

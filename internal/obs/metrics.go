@@ -15,6 +15,9 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	cvecs    map[string]*CounterVec
+	gvecs    map[string]*GaugeVec
+	hvecs    map[string]*HistogramVec
 }
 
 // Default is the process-wide registry used by all instrumentation in
@@ -27,6 +30,9 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		cvecs:    map[string]*CounterVec{},
+		gvecs:    map[string]*GaugeVec{},
+		hvecs:    map[string]*HistogramVec{},
 	}
 }
 
@@ -83,12 +89,15 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
-// Reset drops every instrument. Intended for tests.
+// Reset drops every instrument and vector. Intended for tests.
 func (r *Registry) Reset() {
 	r.mu.Lock()
 	r.counters = map[string]*Counter{}
 	r.gauges = map[string]*Gauge{}
 	r.hists = map[string]*Histogram{}
+	r.cvecs = map[string]*CounterVec{}
+	r.gvecs = map[string]*GaugeVec{}
+	r.hvecs = map[string]*HistogramVec{}
 	r.mu.Unlock()
 }
 
@@ -234,6 +243,10 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 	Min    float64   `json:"min"`
 	Max    float64   `json:"max"`
+	// DroppedMerges counts merges whose bucket counts had to be
+	// discarded because the bucket bounds disagreed (Count/Sum/Min/Max
+	// still merged). Non-zero means the bucket distribution undercounts.
+	DroppedMerges int64 `json:"dropped_merges,omitempty"`
 }
 
 // Mean returns the average observation, or 0 when empty.
@@ -246,11 +259,17 @@ func (h HistogramSnapshot) Mean() float64 {
 
 // Quantile estimates the q-quantile (q in [0, 1]) from the buckets,
 // attributing each bucket's mass to its upper bound. It returns Max for
-// the overflow bucket and 0 when the histogram is empty.
+// the overflow bucket and 0 when the histogram is empty. Out-of-range
+// q is clamped into [0, 1]; a NaN q returns NaN rather than a
+// plausible-looking latency.
 func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
 	if h.Count == 0 {
 		return 0
 	}
+	q = math.Min(math.Max(q, 0), 1)
 	target := int64(math.Ceil(q * float64(h.Count)))
 	if target < 1 {
 		target = 1
@@ -269,24 +288,30 @@ func (h HistogramSnapshot) Quantile(q float64) float64 {
 }
 
 // merge adds another snapshot of the same histogram. Bucket counts are
-// only combined when the bounds match; otherwise the receiver's buckets
-// win and only Count/Sum/Min/Max are merged.
+// only combined when the bounds match; on a mismatch the receiver's
+// buckets win, only Count/Sum/Min/Max are merged, and the drop is
+// recorded in DroppedMerges — quantiles computed from such a merge
+// undercount, and the field makes that visible instead of silent.
 func (h HistogramSnapshot) merge(o HistogramSnapshot) HistogramSnapshot {
 	out := h
 	out.Counts = append([]int64(nil), h.Counts...)
-	if len(h.Bounds) == len(o.Bounds) && len(h.Counts) == len(o.Counts) {
-		same := true
+	same := len(h.Bounds) == len(o.Bounds) && len(h.Counts) == len(o.Counts)
+	if same {
 		for i := range h.Bounds {
 			if h.Bounds[i] != o.Bounds[i] {
 				same = false
 				break
 			}
 		}
-		if same {
-			for i := range out.Counts {
-				out.Counts[i] += o.Counts[i]
-			}
+	}
+	if same {
+		for i := range out.Counts {
+			out.Counts[i] += o.Counts[i]
 		}
+	}
+	out.DroppedMerges = h.DroppedMerges + o.DroppedMerges
+	if !same {
+		out.DroppedMerges++
 	}
 	switch {
 	case h.Count == 0:

@@ -88,6 +88,10 @@ type SpanData struct {
 	Name string `json:"name"`
 	// Path is the slash-joined chain of ancestor names ("table/corpus/features").
 	Path string `json:"path"`
+	// TraceID correlates the span with the request that started it (set
+	// when the span's context carried obs.WithTraceID) and with the
+	// request's access-log line.
+	TraceID string `json:"trace_id,omitempty"`
 	// Start is the wall-clock start time.
 	Start time.Time `json:"start"`
 	// Duration is the span's wall time in nanoseconds.
@@ -115,6 +119,7 @@ type SpanData struct {
 type Span struct {
 	name   string
 	path   string
+	trace  string
 	start  time.Time
 	parent *Span
 	// ctx is the derived context carrying this span; startSpan stores it
@@ -132,6 +137,26 @@ type Span struct {
 }
 
 type spanCtxKey struct{}
+
+// traceCtxKey carries a request-scoped trace ID through context, so
+// every span started under an HTTP request (and the request's access
+// log line) share one correlation ID.
+type traceCtxKey struct{}
+
+// WithTraceID returns a context carrying the trace ID. An empty id
+// returns ctx unchanged.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, id)
+}
+
+// TraceID returns the trace ID carried by ctx, or "".
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceCtxKey{}).(string)
+	return id
+}
 
 // Start begins a span named name, parented to the span carried by ctx
 // (if any), and returns a derived context carrying the new span. When
@@ -151,8 +176,10 @@ func startSpan(ctx context.Context, name string) *Span {
 	s := &Span{name: name, parent: parent, start: time.Now()}
 	if parent != nil {
 		s.path = parent.path + "/" + name
+		s.trace = parent.trace
 	} else {
 		s.path = name
+		s.trace = TraceID(ctx)
 	}
 	s.allocB0, s.allocO0 = heapAllocs()
 	s.ctx = context.WithValue(ctx, spanCtxKey{}, s)
@@ -212,6 +239,7 @@ func (s *Span) end() {
 	sd := &SpanData{
 		Name:         s.name,
 		Path:         s.path,
+		TraceID:      s.trace,
 		Start:        s.start,
 		Duration:     time.Since(s.start),
 		AllocBytes:   b1 - s.allocB0,

@@ -1,0 +1,373 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4) of a registry
+// snapshot. Counters render as `<name>_total`, histograms as cumulative
+// `_bucket{le="..."}` series plus `_sum` and `_count`, and labeled
+// series (vectors) carry their label sets. Every metric name is
+// prefixed with "spmvselect_" and sanitised (the registry's '/'
+// separators become '_'), families and series are emitted in sorted
+// order, so the output is deterministic and golden-testable.
+
+// PromPrefix is prepended to every exposed metric name, namespacing the
+// process on shared scrape targets.
+const PromPrefix = "spmvselect_"
+
+// promContentType is the Prometheus text exposition content type.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitises a registry metric name into a valid Prometheus
+// metric name: every byte outside [a-zA-Z0-9_:] becomes '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(PromPrefix) + len(name))
+	b.WriteString(PromPrefix)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a float64 for the text format, using the spellings
+// Prometheus parsers expect for the non-finite values.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promSeries is one series of a family: its raw label text (already in
+// `k="v"` form, empty for unlabeled) plus the writer that renders its
+// sample lines.
+type promSeries struct {
+	labels string
+	write  func(w io.Writer, fam, labels string)
+}
+
+// promFamily groups the series sharing one exposed family name.
+type promFamily struct {
+	typ    string // "counter", "gauge", "histogram"
+	series []promSeries
+}
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	fams := map[string]*promFamily{}
+	add := func(key, typ string, wr func(io.Writer, string, string)) {
+		name, labels := SplitSeries(key)
+		fam := promName(name)
+		if typ == "counter" {
+			fam += "_total"
+		}
+		f := fams[fam]
+		if f == nil {
+			f = &promFamily{typ: typ}
+			fams[fam] = f
+		}
+		f.series = append(f.series, promSeries{labels: labels, write: wr})
+	}
+
+	for key, v := range s.Counters {
+		v := v
+		add(key, "counter", func(w io.Writer, fam, labels string) {
+			fmt.Fprintf(w, "%s%s %d\n", fam, wrapLabels(labels), v)
+		})
+	}
+	for key, v := range s.Gauges {
+		v := v
+		add(key, "gauge", func(w io.Writer, fam, labels string) {
+			fmt.Fprintf(w, "%s%s %s\n", fam, wrapLabels(labels), promFloat(v))
+		})
+	}
+	for key, h := range s.Histograms {
+		h := h
+		add(key, "histogram", func(w io.Writer, fam, labels string) {
+			cum := int64(0)
+			for i, bound := range h.Bounds {
+				if i < len(h.Counts) {
+					cum += h.Counts[i]
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", fam,
+					wrapLabels(joinLabels(labels, `le="`+promFloat(bound)+`"`)), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket%s %d\n", fam,
+				wrapLabels(joinLabels(labels, `le="+Inf"`)), h.Count)
+			fmt.Fprintf(w, "%s_sum%s %s\n", fam, wrapLabels(labels), promFloat(h.Sum))
+			fmt.Fprintf(w, "%s_count%s %d\n", fam, wrapLabels(labels), h.Count)
+		})
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	for _, n := range names {
+		f := fams[n]
+		fmt.Fprintf(bw, "# TYPE %s %s\n", n, f.typ)
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		for _, sr := range f.series {
+			sr.write(bw, n, sr.labels)
+		}
+	}
+	return bw.Flush()
+}
+
+// wrapLabels renders non-empty label text as `{...}`.
+func wrapLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// joinLabels appends one more `k="v"` pair to possibly-empty label text.
+func joinLabels(labels, pair string) string {
+	if labels == "" {
+		return pair
+	}
+	return labels + "," + pair
+}
+
+// PromHandler serves the registry in the Prometheus text format — the
+// /metrics endpoint. refresh functions (optional) run before every
+// scrape, the hook by which derived gauges (SLO windows, drift scores)
+// are brought up to date lazily instead of on a timer.
+func PromHandler(r *Registry, refresh ...func()) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		for _, fn := range refresh {
+			fn()
+		}
+		w.Header().Set("Content-Type", promContentType)
+		_ = WritePrometheus(w, r.Snapshot())
+	})
+}
+
+// ---------------------------------------------------------------------
+// Parsing. A deliberately small parser for the subset WritePrometheus
+// emits — enough for the monitor subcommand and for round-trip tests to
+// prove every emitted line is well-formed. It rejects malformed lines
+// instead of skipping them.
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	// Name is the full sample name as exposed (including _total /
+	// _bucket / _sum / _count suffixes).
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromMetrics is a parsed exposition: samples in input order plus the
+// declared family types.
+type PromMetrics struct {
+	Samples []PromSample
+	// Types maps family name -> "counter" | "gauge" | "histogram".
+	Types map[string]string
+}
+
+// Value returns the value of the first sample matching name and the
+// given label pairs (k, v, k, v, ...); ok is false when none matches.
+// Samples may carry more labels than asked for.
+func (m *PromMetrics) Value(name string, kv ...string) (float64, bool) {
+	for _, s := range m.Samples {
+		if s.Name != name {
+			continue
+		}
+		match := true
+		for i := 0; i+1 < len(kv); i += 2 {
+			if s.Labels[kv[i]] != kv[i+1] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sum adds every sample of name that matches the given label pairs.
+func (m *PromMetrics) Sum(name string, kv ...string) float64 {
+	total := 0.0
+	for _, s := range m.Samples {
+		if s.Name != name {
+			continue
+		}
+		match := true
+		for i := 0; i+1 < len(kv); i += 2 {
+			if s.Labels[kv[i]] != kv[i+1] {
+				match = false
+				break
+			}
+		}
+		if match {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// ParsePrometheus parses a text-format exposition, returning an error
+// on the first malformed line.
+func ParsePrometheus(r io.Reader) (*PromMetrics, error) {
+	out := &PromMetrics{Types: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				out.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		sample, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: metrics line %d: %w", lineNo, err)
+		}
+		out.Samples = append(out.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading metrics: %w", err)
+	}
+	return out, nil
+}
+
+// parsePromSample parses `name{k="v",...} value` or `name value`.
+func parsePromSample(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return s, fmt.Errorf("no metric name in %q", line)
+	}
+	s.Name = line[:i]
+	if !validPromName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		labels, tail, err := parsePromLabels(rest[1:])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	// The text format allows an optional timestamp after the value; this
+	// exposition never emits one, so a second field is an error here.
+	if strings.ContainsAny(rest, " \t") {
+		return s, fmt.Errorf("unexpected trailing fields in %q", line)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parsePromLabels parses `k="v",...}` (the text after the opening
+// brace), returning the labels and the remaining tail after '}'.
+func parsePromLabels(text string) (map[string]string, string, error) {
+	labels := map[string]string{}
+	for {
+		text = strings.TrimLeft(text, " ,")
+		if text == "" {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if text[0] == '}' {
+			return labels, text[1:], nil
+		}
+		eq := strings.IndexByte(text, '=')
+		if eq <= 0 {
+			return nil, "", fmt.Errorf("malformed label in %q", text)
+		}
+		key := strings.TrimSpace(text[:eq])
+		if !validPromName(key) {
+			return nil, "", fmt.Errorf("invalid label name %q", key)
+		}
+		text = text[eq+1:]
+		if text == "" || text[0] != '"' {
+			return nil, "", fmt.Errorf("unquoted label value for %q", key)
+		}
+		var val strings.Builder
+		j := 1
+		for ; j < len(text); j++ {
+			c := text[j]
+			if c == '\\' && j+1 < len(text) {
+				j++
+				switch text[j] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(text[j])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if j >= len(text) {
+			return nil, "", fmt.Errorf("unterminated label value for %q", key)
+		}
+		labels[key] = val.String()
+		text = text[j+1:]
+	}
+}
+
+// validPromName reports whether s is a valid Prometheus metric or label
+// name ([a-zA-Z_:][a-zA-Z0-9_:]*; labels don't use ':' but accepting it
+// here is harmless).
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// sloClock is a fake clock for driving SLOWindows deterministically.
+type sloClock struct{ now time.Time }
+
+func (c *sloClock) Now() time.Time          { return c.now }
+func (c *sloClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+func newSLOClock() *sloClock                { return &sloClock{now: time.Unix(1_000_000, 0)} }
+
+func testSLO(clk *sloClock) *SLOWindows {
+	return NewSLOWindows(SLOConfig{
+		Objective:    0.99,
+		SlotDuration: time.Second,
+		Slots:        301, // 5m of history at 1s slots
+		Bounds:       []float64{0.01, 0.1, 1},
+		Now:          clk.Now,
+	})
+}
+
+func windowByName(t *testing.T, rep SLOReport, name string) SLOWindowReport {
+	t.Helper()
+	for _, w := range rep.Windows {
+		if w.Window == name {
+			return w
+		}
+	}
+	t.Fatalf("window %q missing from report %+v", name, rep)
+	return SLOWindowReport{}
+}
+
+func TestSLOAvailabilityAndBurn(t *testing.T) {
+	clk := newSLOClock()
+	s := testSLO(clk)
+	for i := 0; i < 90; i++ {
+		s.Observe(0.005, false)
+	}
+	for i := 0; i < 10; i++ {
+		s.Observe(0.005, true)
+	}
+	w := windowByName(t, s.Report(), "1m")
+	if w.Requests != 100 || w.Errors != 10 {
+		t.Fatalf("requests/errors = %d/%d, want 100/10", w.Requests, w.Errors)
+	}
+	if math.Abs(w.Availability-0.9) > 1e-12 {
+		t.Errorf("availability = %v, want 0.9", w.Availability)
+	}
+	// Error rate 0.1 against a 0.99 objective burns the budget 10x.
+	if math.Abs(w.BurnRate-10) > 1e-9 {
+		t.Errorf("burn rate = %v, want 10", w.BurnRate)
+	}
+}
+
+func TestSLOQuantilesFromBuckets(t *testing.T) {
+	clk := newSLOClock()
+	s := testSLO(clk)
+	for i := 0; i < 60; i++ {
+		s.Observe(0.005, false) // <= 0.01
+	}
+	for i := 0; i < 35; i++ {
+		s.Observe(0.05, false) // <= 0.1
+	}
+	for i := 0; i < 5; i++ {
+		s.Observe(0.5, false) // <= 1
+	}
+	w := windowByName(t, s.Report(), "1m")
+	if w.P50 != 0.01 {
+		t.Errorf("p50 = %v, want 0.01", w.P50)
+	}
+	if w.P95 != 0.1 {
+		t.Errorf("p95 = %v, want 0.1", w.P95)
+	}
+	if w.P99 != 1 {
+		t.Errorf("p99 = %v, want 1", w.P99)
+	}
+	if math.Abs(w.MeanSeconds-(60*0.005+35*0.05+5*0.5)/100) > 1e-12 {
+		t.Errorf("mean = %v", w.MeanSeconds)
+	}
+}
+
+// TestSLOWindowsAge: observations fall out of the 1m window but stay in
+// the 5m window as the clock advances.
+func TestSLOWindowsAge(t *testing.T) {
+	clk := newSLOClock()
+	s := testSLO(clk)
+	for i := 0; i < 50; i++ {
+		s.Observe(0.005, true)
+	}
+	clk.advance(2 * time.Minute)
+	rep := s.Report()
+	w1 := windowByName(t, rep, "1m")
+	if w1.Requests != 0 {
+		t.Errorf("1m window still sees %d aged-out requests", w1.Requests)
+	}
+	if w1.Availability != 1 || w1.BurnRate != 0 {
+		t.Errorf("empty 1m window: availability=%v burn=%v, want 1 and 0", w1.Availability, w1.BurnRate)
+	}
+	w5 := windowByName(t, rep, "5m")
+	if w5.Requests != 50 || w5.Errors != 50 {
+		t.Errorf("5m window = %d/%d, want 50/50", w5.Requests, w5.Errors)
+	}
+}
+
+// TestSLOGapClears: a silence longer than the whole ring resets every
+// slot in one pass rather than replaying stale data.
+func TestSLOGapClears(t *testing.T) {
+	clk := newSLOClock()
+	s := testSLO(clk)
+	for i := 0; i < 50; i++ {
+		s.Observe(0.005, true)
+	}
+	clk.advance(time.Hour) // far beyond the 301-slot ring
+	rep := s.Report()
+	for _, w := range rep.Windows {
+		if w.Requests != 0 || w.Errors != 0 {
+			t.Errorf("window %s retained %d/%d after full gap", w.Window, w.Requests, w.Errors)
+		}
+	}
+	// The tracker still works after the reset.
+	s.Observe(0.005, false)
+	if w := windowByName(t, s.Report(), "1m"); w.Requests != 1 {
+		t.Errorf("post-gap observe lost: %d", w.Requests)
+	}
+}
+
+func TestSLOExportGauges(t *testing.T) {
+	clk := newSLOClock()
+	s := testSLO(clk)
+	for i := 0; i < 99; i++ {
+		s.Observe(0.005, false)
+	}
+	s.Observe(0.005, true)
+	r := NewRegistry()
+	s.Export(r)
+	snap := r.Snapshot()
+	if got := snap.Gauges[`slo/availability{window="1m"}`]; math.Abs(got-0.99) > 1e-12 {
+		t.Errorf(`slo/availability{window="1m"} = %v, want 0.99`, got)
+	}
+	if got := snap.Gauges[`slo/burn_rate{window="1m"}`]; math.Abs(got-1) > 1e-9 {
+		t.Errorf("burn gauge = %v, want 1", got)
+	}
+	if got := snap.Gauges[`slo/latency/seconds{window="1m",quantile="p99"}`]; got != 0.01 {
+		t.Errorf("p99 gauge = %v, want 0.01", got)
+	}
+	if got := snap.Gauges[`slo/requests{window="1h"}`]; got != 100 {
+		t.Errorf("1h requests gauge = %v, want 100", got)
+	}
+}
+
+func TestSLODefaults(t *testing.T) {
+	cfg := SLOConfig{}.withDefaults()
+	if cfg.Objective != 0.999 || cfg.SlotDuration != defaultSLOSlot || cfg.Slots != defaultSLOSlots {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if cfg.Now == nil || cfg.Bounds == nil {
+		t.Error("defaults left Now/Bounds nil")
+	}
+	// An out-of-range objective falls back rather than dividing by zero.
+	if got := (SLOConfig{Objective: 1.5}).withDefaults().Objective; got != 0.999 {
+		t.Errorf("objective sanitising: %v", got)
+	}
+}

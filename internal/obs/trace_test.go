@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestTraceIDFlowsThroughSpanTree(t *testing.T) {
+	c := withSink(t)
+	ctx := WithTraceID(context.Background(), "req-abc123")
+	ctx, root := Start(ctx, "serve/predict")
+	_, child := Start(ctx, "features/extract")
+	child.End()
+	root.End()
+
+	roots := c.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots", len(roots))
+	}
+	if roots[0].TraceID != "req-abc123" {
+		t.Errorf("root trace id = %q", roots[0].TraceID)
+	}
+	if len(roots[0].Children) != 1 || roots[0].Children[0].TraceID != "req-abc123" {
+		t.Errorf("child did not inherit trace id: %+v", roots[0].Children)
+	}
+}
+
+func TestTraceIDHelpers(t *testing.T) {
+	ctx := context.Background()
+	if TraceID(ctx) != "" {
+		t.Error("empty context has a trace id")
+	}
+	if WithTraceID(ctx, "") != ctx {
+		t.Error("empty id should leave ctx unchanged")
+	}
+	if got := TraceID(WithTraceID(ctx, "x")); got != "x" {
+		t.Errorf("TraceID = %q", got)
+	}
+}
+
+func TestSpanWithoutTraceIDStaysClean(t *testing.T) {
+	c := withSink(t)
+	_, sp := Start(context.Background(), "bare")
+	sp.End()
+	if id := c.Roots()[0].TraceID; id != "" {
+		t.Errorf("unexpected trace id %q", id)
+	}
+}
+
+// TestServeStopIdempotent: the stop func returned by Serve must be safe
+// to call repeatedly and from several goroutines at once.
+func TestServeStopIdempotent(t *testing.T) {
+	_, stop, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = stop()
+		}()
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != errs[0] {
+			t.Errorf("stop call %d returned %v, first returned %v", i, e, errs[0])
+		}
+	}
+	if err := stop(); err != errs[0] {
+		t.Errorf("late stop returned %v, want %v", err, errs[0])
+	}
+}
+
+// TestHistogramMergeMismatchedBounds: a merge across disagreeing bucket
+// layouts must keep the totals and surface the drop, not silently
+// undercount.
+func TestHistogramMergeMismatchedBounds(t *testing.T) {
+	a := HistogramSnapshot{Bounds: []float64{1, 10}, Counts: []int64{3, 2, 1}, Count: 6, Sum: 30, Min: 0.5, Max: 40}
+	b := HistogramSnapshot{Bounds: []float64{1, 100}, Counts: []int64{1, 1, 1}, Count: 3, Sum: 150, Min: 0.1, Max: 120}
+	out := a.merge(b)
+	if out.DroppedMerges != 1 {
+		t.Errorf("DroppedMerges = %d, want 1", out.DroppedMerges)
+	}
+	// The receiver's buckets survive untouched; totals still combine.
+	for i, want := range []int64{3, 2, 1} {
+		if out.Counts[i] != want {
+			t.Errorf("counts[%d] = %d, want %d", i, out.Counts[i], want)
+		}
+	}
+	if out.Count != 9 || out.Sum != 180 || out.Min != 0.1 || out.Max != 120 {
+		t.Errorf("totals not merged: %+v", out)
+	}
+	// Drops accumulate across chained merges.
+	if out2 := out.merge(b); out2.DroppedMerges != 2 {
+		t.Errorf("chained DroppedMerges = %d, want 2", out2.DroppedMerges)
+	}
+	// Matching bounds merge cleanly and record nothing.
+	if clean := a.merge(a); clean.DroppedMerges != 0 || clean.Counts[0] != 6 {
+		t.Errorf("clean merge: %+v", clean)
+	}
+}
+
+func TestSnapshotMergeSurfacesDrops(t *testing.T) {
+	s1 := Snapshot{Histograms: map[string]HistogramSnapshot{
+		"h": {Bounds: []float64{1}, Counts: []int64{1, 0}, Count: 1, Sum: 1, Min: 1, Max: 1},
+	}}
+	s2 := Snapshot{Histograms: map[string]HistogramSnapshot{
+		"h": {Bounds: []float64{2}, Counts: []int64{1, 0}, Count: 1, Sum: 2, Min: 2, Max: 2},
+	}}
+	m := s1.Merge(s2)
+	if m.Histograms["h"].DroppedMerges != 1 {
+		t.Errorf("snapshot merge lost the drop record: %+v", m.Histograms["h"])
+	}
+	if m.Histograms["h"].Count != 2 {
+		t.Errorf("count = %d", m.Histograms["h"].Count)
+	}
+}
+
+func TestQuantileGuards(t *testing.T) {
+	h := HistogramSnapshot{Bounds: []float64{1, 10}, Counts: []int64{5, 4, 1}, Count: 10, Min: 0.5, Max: 50}
+	if got := h.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Quantile(NaN) = %v, want NaN", got)
+	}
+	// Out-of-range q clamps instead of under/overflowing the target rank.
+	if got := h.Quantile(-3); got != 1 {
+		t.Errorf("Quantile(-3) = %v, want 1 (clamped to q=0)", got)
+	}
+	if got := h.Quantile(7); got != 50 {
+		t.Errorf("Quantile(7) = %v, want Max (clamped to q=1)", got)
+	}
+	empty := HistogramSnapshot{}
+	if got := empty.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("empty Quantile(NaN) = %v, want NaN", got)
+	}
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+}

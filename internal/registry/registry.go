@@ -58,12 +58,16 @@ type slot struct {
 // take a read lock; swaps are atomic under the write lock, so a
 // request observes either the old or the new model, never a mix.
 type Registry struct {
-	mu      sync.RWMutex
-	def     string // default arch ("" until set or first Configure)
-	live    map[string]*slot
-	shadow  map[string]*slot
-	stats   map[string]*ShadowStats
-	onSwap  []func()
+	mu     sync.RWMutex
+	def    string // default arch ("" until set or first Configure)
+	live   map[string]*slot
+	shadow map[string]*slot
+	stats  map[string]*ShadowStats
+	// drift holds the per-arch drift monitor for live artifacts that
+	// carry a training baseline; driftOpts tunes it.
+	drift     map[string]*driftState
+	driftOpts DriftOptions
+	onSwap    []func()
 
 	swaps      *obs.Counter
 	reloads    *obs.Counter
@@ -71,10 +75,12 @@ type Registry struct {
 	loadErrors *obs.Counter
 }
 
-// The registry satisfies both serving interfaces.
+// The registry satisfies the serving interfaces, including the
+// drift-monitoring surface.
 var (
 	_ serve.Backend      = (*Registry)(nil)
 	_ serve.AdminBackend = (*Registry)(nil)
+	_ serve.DriftBackend = (*Registry)(nil)
 )
 
 // New returns an empty registry. Configure architectures, then LoadAll.
@@ -83,6 +89,7 @@ func New() *Registry {
 		live:       map[string]*slot{},
 		shadow:     map[string]*slot{},
 		stats:      map[string]*ShadowStats{},
+		drift:      map[string]*driftState{},
 		swaps:      obs.Default.Counter("registry/swaps"),
 		reloads:    obs.Default.Counter("registry/reloads"),
 		promotes:   obs.Default.Counter("registry/promotes"),
@@ -253,6 +260,11 @@ func (r *Registry) Reload() (changed []string, err error) {
 		if st := r.stats[t.arch]; st != nil {
 			st.Reset()
 		}
+		if !t.shadow {
+			// A new live model means new drift windows against its own
+			// training baseline.
+			r.installDriftLocked(t.arch, entry.Artifact)
+		}
 	}
 	// Record load failures on their slots for /readyz.
 	for _, e := range errs {
@@ -335,6 +347,7 @@ func (r *Registry) Promote(arch string) (string, error) {
 	ls.err = nil
 	delete(r.shadow, a)
 	delete(r.stats, a)
+	r.installDriftLocked(a, ls.entry.Artifact)
 	hash := ls.entry.Hash
 	r.mu.Unlock()
 

@@ -27,8 +27,11 @@ func (s *Server) authorized(r *http.Request) bool {
 }
 
 // adminEndpoint wraps an admin handler with the method check, the
-// token gate and the admin metrics.
-func (s *Server) adminEndpoint(method string, h http.HandlerFunc) http.HandlerFunc {
+// token gate and the admin metrics. needBackend marks handlers that
+// mutate or read the AdminBackend (reload, promote, shadow) — they
+// answer 501 on a static server; read-only telemetry endpoints (SLO,
+// drift) work on any backend and pass false.
+func (s *Server) adminEndpoint(method string, needBackend bool, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.adminReqs.Inc()
 		if r.Method != method {
@@ -46,7 +49,7 @@ func (s *Server) adminEndpoint(method string, h http.HandlerFunc) http.HandlerFu
 			writeJSON(w, http.StatusUnauthorized, errorResponse{Error: msg})
 			return
 		}
-		if s.admin == nil {
+		if needBackend && s.admin == nil {
 			writeJSON(w, http.StatusNotImplemented,
 				errorResponse{Error: "this server hosts a static model; admin operations need the registry (-models)"})
 			return
@@ -107,4 +110,22 @@ func (s *Server) adminPromote(w http.ResponseWriter, r *http.Request) {
 // adminShadow returns the shadow evaluation report.
 func (s *Server) adminShadow(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.admin.ShadowReport())
+}
+
+// adminSLO returns the rolling-window SLO report (latency quantiles,
+// availability and burn rate over 1m/5m/1h).
+func (s *Server) adminSLO(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.slo.Report())
+}
+
+// adminDrift returns the served-prediction drift report. 501 when the
+// backend has no drift monitor (static servers, artifacts trained
+// before baselines existed).
+func (s *Server) adminDrift(w http.ResponseWriter, r *http.Request) {
+	if s.drift == nil {
+		writeJSON(w, http.StatusNotImplemented,
+			errorResponse{Error: "this backend has no drift monitor; serve from the registry (-models)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.drift.DriftReport())
 }

@@ -61,6 +61,11 @@ type Artifact struct {
 	// classifier (KindClassifier).
 	Pipeline preprocess.Chain
 	Clf      classify.Classifier
+	// Baseline records the training-data distribution for drift
+	// monitoring. Nil for artifacts saved before baselines existed (gob
+	// tolerates the absent field both ways, so the wire version is
+	// unchanged); such artifacts opt out of drift monitoring.
+	Baseline *Baseline
 }
 
 // artifactEnvelope is what Save gob-encodes after the magic string. The
@@ -160,6 +165,11 @@ func (a *Artifact) Validate() error {
 		}
 	default:
 		return fmt.Errorf("serve: unknown artifact kind %q", a.Kind)
+	}
+	if a.Baseline != nil {
+		if err := a.Baseline.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -73,6 +73,21 @@ type Backend interface {
 	Status() []ArchStatus
 }
 
+// DriftBackend is the optional drift-monitoring surface: backends that
+// implement it receive every served prediction and answer
+// /v1/admin/drift. The registry implements it by comparing per-arch
+// rolling windows of served predictions and features against the live
+// artifact's training baseline.
+type DriftBackend interface {
+	// RecordServed feeds one served prediction into the monitor. vec is
+	// the raw feature vector, or nil when the request was answered
+	// without parsing the body (a cache hit).
+	RecordServed(arch string, p Prediction, vec []float64)
+	// DriftReport returns the JSON-serialisable drift report and
+	// refreshes any derived gauges.
+	DriftReport() any
+}
+
 // AdminBackend is the optional mutation surface behind /v1/admin/*.
 type AdminBackend interface {
 	// Reload re-reads every artifact from its source, swapping only the
@@ -148,9 +163,9 @@ func (b *staticBackend) Live(arch string) (LiveModel, error) {
 	return LiveModel{}, fmt.Errorf("%w %q (this server hosts only %q)", ErrUnknownArch, arch, b.m.Arch)
 }
 
-func (b *staticBackend) Shadow(string) (LiveModel, bool)          { return LiveModel{}, false }
+func (b *staticBackend) Shadow(string) (LiveModel, bool)             { return LiveModel{}, false }
 func (b *staticBackend) RecordShadow(string, Prediction, Prediction) {}
-func (b *staticBackend) Ready() error                             { return nil }
+func (b *staticBackend) Ready() error                                { return nil }
 
 func (b *staticBackend) Status() []ArchStatus {
 	return []ArchStatus{{

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/features"
+)
+
+// Training baselines for drift monitoring. An artifact trained by
+// `spmvselect train` records the distribution of its training data —
+// the label (format) histogram plus decile-bucketed histograms of a
+// few load-bearing features — so a serving registry can compare the
+// traffic a model actually receives against what it was fitted on.
+// The baseline travels inside the gob artifact; artifacts saved before
+// baselines existed decode with a nil Baseline and simply opt out of
+// drift monitoring (gob tolerates the missing field in both
+// directions, so ArtifactVersion is unchanged).
+
+// baselineFeatureIdx are the features the baseline histograms track:
+// the size/shape signals (rows, nonzeros, density), the row-length
+// moments that drive format choice in the paper's Table 1, and the ELL
+// efficiency fraction. Six signals keep the artifact small while
+// covering the axes along which production traffic typically departs
+// from a training corpus.
+var baselineFeatureIdx = []int{
+	features.NRows, features.NNZ, features.NNZFrac,
+	features.NNZMu, features.NNZSig, features.EllFrac,
+}
+
+// FeatureBaseline is the training histogram of one tracked feature.
+type FeatureBaseline struct {
+	// Index is the feature's position in the raw vector; Name is its
+	// Table 1 spelling.
+	Index int
+	Name  string
+	// Bounds are interior cut points (deciles of the training sample,
+	// deduplicated, strictly increasing); Counts has len(Bounds)+1
+	// buckets, bucket i counting training values v with
+	// Bounds[i-1] < v <= Bounds[i] (last bucket is overflow).
+	Bounds []float64
+	Counts []int64
+}
+
+// Baseline is the training-distribution record of one artifact.
+type Baseline struct {
+	// FormatCounts is the training label histogram in Formats order.
+	FormatCounts []int64
+	// Features are the tracked feature histograms.
+	Features []FeatureBaseline
+}
+
+// BucketIndex returns the baseline bucket of value v: the first i with
+// v <= bounds[i], or len(bounds) for overflow.
+func BucketIndex(bounds []float64, v float64) int {
+	return sort.SearchFloat64s(bounds, v)
+}
+
+// ComputeBaseline summarises a training set: raw feature rows x with
+// labels y (in the artifact's Formats order, numClasses wide). Rows
+// shorter than the tracked indices are skipped defensively.
+func ComputeBaseline(x [][]float64, y []int, numClasses int) *Baseline {
+	b := &Baseline{FormatCounts: make([]int64, numClasses)}
+	for _, label := range y {
+		if label >= 0 && label < numClasses {
+			b.FormatCounts[label]++
+		}
+	}
+	for _, idx := range baselineFeatureIdx {
+		vals := make([]float64, 0, len(x))
+		for _, row := range x {
+			if idx < len(row) {
+				vals = append(vals, row[idx])
+			}
+		}
+		fb := FeatureBaseline{Index: idx, Name: features.Names[idx], Bounds: decileBounds(vals)}
+		fb.Counts = make([]int64, len(fb.Bounds)+1)
+		for _, v := range vals {
+			fb.Counts[BucketIndex(fb.Bounds, v)]++
+		}
+		b.Features = append(b.Features, fb)
+	}
+	return b
+}
+
+// decileBounds returns the 9 interior deciles of vals, deduplicated to
+// a strictly increasing sequence (heavily tied features — a corpus of
+// equal-sized matrices — yield fewer, possibly zero, cut points).
+func decileBounds(vals []float64) []float64 {
+	if len(vals) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	var bounds []float64
+	for k := 1; k <= 9; k++ {
+		q := sorted[(k*len(sorted))/10]
+		if len(bounds) == 0 || q > bounds[len(bounds)-1] {
+			bounds = append(bounds, q)
+		}
+	}
+	// Drop a final cut equal to the maximum: it would leave a permanently
+	// empty overflow bucket.
+	if n := len(bounds); n > 0 && bounds[n-1] >= sorted[len(sorted)-1] {
+		bounds = bounds[:n-1]
+	}
+	return bounds
+}
+
+// Validate checks internal consistency (called from Artifact.Validate
+// when a baseline is present).
+func (b *Baseline) Validate() error {
+	if len(b.FormatCounts) == 0 {
+		return fmt.Errorf("serve: baseline has no format counts")
+	}
+	for _, fb := range b.Features {
+		if len(fb.Counts) != len(fb.Bounds)+1 {
+			return fmt.Errorf("serve: baseline feature %q has %d buckets for %d bounds",
+				fb.Name, len(fb.Counts), len(fb.Bounds))
+		}
+		for i := 1; i < len(fb.Bounds); i++ {
+			if fb.Bounds[i] <= fb.Bounds[i-1] {
+				return fmt.Errorf("serve: baseline feature %q bounds not increasing", fb.Name)
+			}
+		}
+	}
+	return nil
+}

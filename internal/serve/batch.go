@@ -113,6 +113,7 @@ func (s *Server) predictBatch(ctx context.Context, r *http.Request) (any, error)
 	if err != nil {
 		return nil, err
 	}
+	noteModel(ctx, lm)
 	n := len(items)
 	if n == 0 {
 		return nil, badRequest("empty batch: provide at least one matrix")

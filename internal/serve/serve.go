@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -42,6 +43,13 @@ type Config struct {
 	// bearer token. Empty (the default) refuses every admin request —
 	// mutation is opt-in, never accidentally open.
 	AdminToken string
+	// AccessLog, when non-nil, receives one structured line per HTTP
+	// request (trace ID, method, path, status, latency, arch, model
+	// hash, cache disposition). Nil disables access logging.
+	AccessLog *slog.Logger
+	// SLOObjective is the availability target the SLO windows report
+	// burn rates against (default 0.999).
+	SLOObjective float64
 }
 
 func (c Config) withDefaults() Config {
@@ -73,9 +81,14 @@ func (c Config) withDefaults() Config {
 //	POST /v1/predict/matrix    MatrixMarket body -> prediction
 //	POST /v1/predict/features  {"features": [...], "arch": "..."} -> prediction
 //	POST /v1/predict/batch     {"matrices": [...], "arch": "..."} -> predictions
+//	GET  /metrics              Prometheus text exposition (obs.Default,
+//	                           SLO windows and drift gauges refreshed
+//	                           per scrape)
 //	POST /v1/admin/reload      hot-swap changed artifacts from disk
 //	POST /v1/admin/promote     flip a shadow candidate to live
 //	GET  /v1/admin/shadow      shadow evaluation report
+//	GET  /v1/admin/slo         rolling-window SLO report (1m/5m/1h)
+//	GET  /v1/admin/drift       served-prediction drift report
 //
 // Predictions route by the request's arch (query parameter, or body
 // field on the JSON endpoints); an empty arch selects the backend's
@@ -98,12 +111,27 @@ func (c Config) withDefaults() Config {
 //	serve/admin/unauthorized  counter    admin requests refused for a bad/missing token
 //	serve/inflight            gauge      predictions currently executing
 //	serve/request/seconds     histogram  end-to-end request latency
+//
+// and in labeled vectors (rendered with full label sets on /metrics):
+//
+//	serve/http/seconds{endpoint,arch}   histogram  per-route request latency
+//	serve/http/requests{endpoint,status} counter   per-route answers by status
+//	serve/predictions{arch,format}      counter    served answers by format
+//
+// Every request is traced: an X-Request-ID header is honoured (or a
+// random ID minted), echoed back, stamped on the request's span tree
+// and emitted in the access log. Requests to /v1/* also feed the
+// rolling SLO windows behind /v1/admin/slo.
 type Server struct {
 	backend Backend
 	admin   AdminBackend // nil when the backend has no admin surface
+	drift   DriftBackend // nil when the backend has no drift monitor
 	cfg     Config
 	sem     chan struct{}
 	cache   *lruCache
+
+	slo       *obs.SLOWindows
+	accessLog *slog.Logger
 
 	requests     *obs.Counter
 	errors       *obs.Counter
@@ -119,6 +147,9 @@ type Server struct {
 	adminDenied  *obs.Counter
 	inflight     *obs.Gauge
 	latency      *obs.Histogram
+	httpLatency  *obs.HistogramVec
+	httpRequests *obs.CounterVec
+	predictions  *obs.CounterVec
 }
 
 // NewServer wraps a single validated artifact — the original
@@ -140,12 +171,16 @@ func NewBackendServer(b Backend, cfg Config) (*Server, error) {
 	}
 	cfg = cfg.withDefaults()
 	admin, _ := b.(AdminBackend)
+	drift, _ := b.(DriftBackend)
 	return &Server{
 		backend:      b,
 		admin:        admin,
+		drift:        drift,
 		cfg:          cfg,
 		sem:          make(chan struct{}, cfg.MaxConcurrent),
 		cache:        newLRUCache(cfg.CacheSize),
+		slo:          obs.NewSLOWindows(obs.SLOConfig{Objective: cfg.SLOObjective}),
+		accessLog:    cfg.AccessLog,
 		requests:     obs.Default.Counter("serve/requests"),
 		errors:       obs.Default.Counter("serve/errors"),
 		rejected:     obs.Default.Counter("serve/rejected"),
@@ -160,6 +195,9 @@ func NewBackendServer(b Backend, cfg Config) (*Server, error) {
 		adminDenied:  obs.Default.Counter("serve/admin/unauthorized"),
 		inflight:     obs.Default.Gauge("serve/inflight"),
 		latency:      obs.Default.Histogram("serve/request/seconds", obs.DurationBuckets),
+		httpLatency:  obs.Default.HistogramVec("serve/http/seconds", obs.DurationBuckets, "endpoint", "arch"),
+		httpRequests: obs.Default.CounterVec("serve/http/requests", "endpoint", "status"),
+		predictions:  obs.Default.CounterVec("serve/predictions", "arch", "format"),
 	}, nil
 }
 
@@ -216,18 +254,33 @@ type errorResponse struct {
 // drive it without a listener).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	route("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("/readyz", s.handleReady)
-	mux.HandleFunc("/v1/model", s.handleModel)
-	mux.HandleFunc("/v1/predict/matrix", s.limited(s.predictMatrix))
-	mux.HandleFunc("/v1/predict/features", s.limited(s.predictFeatures))
-	mux.HandleFunc("/v1/predict/batch", s.limited(s.predictBatch))
-	mux.HandleFunc("/v1/admin/reload", s.adminEndpoint(http.MethodPost, s.adminReload))
-	mux.HandleFunc("/v1/admin/promote", s.adminEndpoint(http.MethodPost, s.adminPromote))
-	mux.HandleFunc("/v1/admin/shadow", s.adminEndpoint(http.MethodGet, s.adminShadow))
+	route("/readyz", s.handleReady)
+	route("/metrics", obs.PromHandler(obs.Default, s.refreshDerived).ServeHTTP)
+	route("/v1/model", s.handleModel)
+	route("/v1/predict/matrix", s.limited(s.predictMatrix))
+	route("/v1/predict/features", s.limited(s.predictFeatures))
+	route("/v1/predict/batch", s.limited(s.predictBatch))
+	route("/v1/admin/reload", s.adminEndpoint(http.MethodPost, true, s.adminReload))
+	route("/v1/admin/promote", s.adminEndpoint(http.MethodPost, true, s.adminPromote))
+	route("/v1/admin/shadow", s.adminEndpoint(http.MethodGet, true, s.adminShadow))
+	route("/v1/admin/slo", s.adminEndpoint(http.MethodGet, false, s.adminSLO))
+	route("/v1/admin/drift", s.adminEndpoint(http.MethodGet, false, s.adminDrift))
 	return mux
+}
+
+// refreshDerived brings lazily computed gauges (SLO windows, drift
+// scores) up to date; PromHandler runs it before every scrape.
+func (s *Server) refreshDerived() {
+	s.slo.Export(obs.Default)
+	if s.drift != nil {
+		s.drift.DriftReport() // updates the registry's drift gauges
+	}
 }
 
 // handleReady reports per-arch load state: 200 once every configured
@@ -381,6 +434,9 @@ func (s *Server) predictBody(lm LiveModel, cand LiveModel, shadowed bool, scratc
 	if !shadowed {
 		if pred, ok := s.cache.Get(key); ok {
 			s.cacheHits.Inc()
+			// Cache hits never parse the body, so the drift monitor only
+			// sees the label stream (vec is nil).
+			s.recordPrediction(lm.Arch, pred, nil)
 			return pred, true, nil
 		}
 	}
@@ -399,7 +455,19 @@ func (s *Server) predictBody(lm LiveModel, cand LiveModel, shadowed bool, scratc
 	} else {
 		s.cache.Put(key, pred)
 	}
+	s.recordPrediction(lm.Arch, pred, vec)
 	return pred, false, nil
+}
+
+// recordPrediction tallies one served answer: the per-arch/format
+// counter plus the drift monitor. vec may be nil when the request body
+// was never parsed (a cache hit); the drift monitor then advances only
+// its predicted-format stream.
+func (s *Server) recordPrediction(arch string, pred Prediction, vec []float64) {
+	s.predictions.With(arch, pred.Format).Inc()
+	if s.drift != nil {
+		s.drift.RecordServed(arch, pred, vec)
+	}
 }
 
 // scoreShadow runs the candidate on the same feature vector and tallies
@@ -419,6 +487,7 @@ func (s *Server) predictMatrix(ctx context.Context, r *http.Request) (any, error
 	if err != nil {
 		return nil, err
 	}
+	noteModel(ctx, lm)
 	body, err := s.readBody(r)
 	if err != nil {
 		return nil, err
@@ -432,6 +501,7 @@ func (s *Server) predictMatrix(ctx context.Context, r *http.Request) (any, error
 	if err != nil {
 		return nil, err
 	}
+	noteCached(ctx, cached)
 	return predictResponse{Prediction: pred, Arch: lm.Arch, ModelHash: lm.Hash, Cached: cached}, nil
 }
 
@@ -461,6 +531,7 @@ func (s *Server) predictFeatures(ctx context.Context, r *http.Request) (any, err
 	if err != nil {
 		return nil, err
 	}
+	noteModel(ctx, lm)
 	if err := ctx.Err(); err != nil {
 		return nil, &httpError{status: http.StatusServiceUnavailable, err: err}
 	}
@@ -469,6 +540,10 @@ func (s *Server) predictFeatures(ctx context.Context, r *http.Request) (any, err
 	if !shadowed {
 		if pred, ok := s.cache.Get(key); ok {
 			s.cacheHits.Inc()
+			noteCached(ctx, true)
+			// The feature vector is in hand even on a hit, so the drift
+			// monitor sees the full observation.
+			s.recordPrediction(lm.Arch, pred, req.Features)
 			return predictResponse{Prediction: pred, Arch: lm.Arch, ModelHash: lm.Hash, Cached: true}, nil
 		}
 	}
@@ -482,6 +557,7 @@ func (s *Server) predictFeatures(ctx context.Context, r *http.Request) (any, err
 	} else {
 		s.cache.Put(key, pred)
 	}
+	s.recordPrediction(lm.Arch, pred, req.Features)
 	return predictResponse{Prediction: pred, Arch: lm.Arch, ModelHash: lm.Hash, Cached: false}, nil
 }
 
