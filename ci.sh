@@ -4,12 +4,16 @@
 # Usage: ./ci.sh [bench]
 #
 #   (no argument)  vet + build + race-enabled tests + the obs
-#                  disabled-path overhead benchmark + two end-to-end
+#                  disabled-path overhead benchmark + three end-to-end
 #                  serving smoke tests (single-model with telemetry:
 #                  access-log trace IDs, the Prometheus /metrics
-#                  exposition and `monitor -once`; then the full
-#                  registry: multi-arch routing, batch, authenticated
-#                  reload, shadow evaluation and promote)
+#                  exposition and `monitor -once`; the full registry:
+#                  multi-arch routing, batch, authenticated reload,
+#                  shadow evaluation and promote; and the quality loop
+#                  under a race-enabled server: serve -record, mixed
+#                  traffic with /v1/feedback outcome reports, capture
+#                  replay reproducing every recorded prediction, and a
+#                  populated /v1/admin/quality window)
 #   bench          additionally regenerate BENCH_obs.json from an
 #                  instrumented paper-scale `table -n 9` run (minutes),
 #                  BENCH_parallel.json from `spmvselect benchpar`,
@@ -17,8 +21,11 @@
 #                  differs from sequential or its speedup falls below
 #                  the machine-aware gate (3x with >= 8 CPUs; on
 #                  smaller hosts it only rejects pathological slowdown),
-#                  and BENCH_serve.json from `spmvselect benchserve`
-#                  (batched vs single-request serving, same gate idea)
+#                  BENCH_serve.json from `spmvselect benchserve`
+#                  (batched vs single-request serving, same gate idea),
+#                  and BENCH_replay.json from `spmvselect benchreplay`
+#                  (record/feedback/replay cycle; hard-fails when a
+#                  replayed prediction differs from the recording)
 set -eu
 cd "$(dirname "$0")"
 
@@ -119,6 +126,72 @@ OUT=$("$SMOKE/spmvselect" request -addr "$ADDR" -get /v1/admin/shadow -token "$A
 echo "$OUT" | grep -q '"arches":\[\]' || { echo "ci: shadow pairing survived the promote: $OUT"; exit 1; }
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" || { echo 'ci: registry serve did not exit cleanly on SIGTERM'; exit 1; }
+# A dead server is a monitoring failure, not a quiet dashboard: the
+# one-shot form must exit non-zero once nothing answers.
+if "$SMOKE/spmvselect" monitor -addr "$ADDR" -once >/dev/null 2>&1; then
+	echo 'ci: monitor -once succeeded against a dead server'; exit 1
+fi
+
+echo '== replay smoke test (record, feedback, replay; race-enabled server)'
+go build -race -o "$SMOKE/spmvselect.race" ./cmd/spmvselect
+"$SMOKE/spmvselect.race" serve -models "turing=$SMOKE/model.gob" -admin-token "$ADMIN_TOKEN" \
+	-addr 127.0.0.1:0 -portfile "$SMOKE/port3" -cache -1 \
+	-record "$SMOKE/capture" -access-log "$SMOKE/access3.log" -access-log-sample 4 &
+SERVE_PID=$!
+i=0
+while [ ! -s "$SMOKE/port3" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i+1)); done
+[ -s "$SMOKE/port3" ] || { echo 'ci: recording serve never wrote its portfile'; exit 1; }
+ADDR=$(cat "$SMOKE/port3")
+i=0
+until "$SMOKE/spmvselect" request -addr "$ADDR" -get /readyz >/dev/null 2>&1; do
+	sleep 0.1; i=$((i+1))
+	[ $i -lt 100 ] || { echo 'ci: recording serve never became ready'; exit 1; }
+done
+# ~20 mixed requests: 12 singles with full per-format feedback sweeps,
+# plus 2 batches whose items report served-time-only outcomes.
+i=0
+while [ $i -lt 12 ]; do
+	if [ $((i % 2)) -eq 0 ]; then M=$MTX; else M=$MTX2; fi
+	"$SMOKE/spmvselect" request -addr "$ADDR" -mtx "$M" -request-id "replay-$i" >/dev/null
+	"$SMOKE/spmvselect" request -addr "$ADDR" -post /v1/feedback \
+		-json "{\"request_id\":\"replay-$i\",\"times_ms\":{\"COO\":2.5,\"CSR\":1.0,\"ELL\":3.0,\"HYB\":4.0}}" >/dev/null
+	i=$((i+1))
+done
+b=0
+while [ $b -lt 2 ]; do
+	"$SMOKE/spmvselect" request -addr "$ADDR" -batch "$MTX,$MTX2" -request-id "replay-batch-$b" >/dev/null
+	j=0
+	while [ $j -lt 2 ]; do
+		"$SMOKE/spmvselect" request -addr "$ADDR" -post /v1/feedback \
+			-json "{\"request_id\":\"replay-batch-$b\",\"item\":$j,\"served_ms\":1.5}" >/dev/null
+		j=$((j+1))
+	done
+	b=$((b+1))
+done
+# A duplicate report must be rejected: outcomes are consume-once.
+if "$SMOKE/spmvselect" request -addr "$ADDR" -post /v1/feedback \
+	-json '{"request_id":"replay-0","served_ms":1.0}' >/dev/null 2>&1; then
+	echo 'ci: duplicate feedback was accepted'; exit 1
+fi
+# Replaying the capture against the same live model must reproduce
+# every recorded prediction (replay exits non-zero on any mismatch).
+"$SMOKE/spmvselect" replay -dir "$SMOKE/capture" -addr "$ADDR" -concurrency 4 \
+	|| { echo 'ci: replay failed or predictions diverged from the recording'; exit 1; }
+# The feedback landed: the quality window holds the 12 full outcomes
+# (batch items reported served-time-only, which do not count as full
+# samples).
+QUALITY=$("$SMOKE/spmvselect" request -addr "$ADDR" -get /v1/admin/quality -token "$ADMIN_TOKEN")
+echo "$QUALITY" | grep -q '"samples":12' || { echo "ci: quality window missing the feedback outcomes: $QUALITY"; exit 1; }
+echo "$QUALITY" | grep -q '"served_only":4' || { echo "ci: quality window missing the served-only outcomes: $QUALITY"; exit 1; }
+# Sampling kept the feedback trail complete (16 accepted + the 404
+# duplicate, which logs as an error) while dropping most of the 24
+# /v1/predict requests (12 recorded + 12 replayed).
+FEEDBACK_LINES=$(grep -c '"endpoint":"/v1/feedback"' "$SMOKE/access3.log" || true)
+[ "$FEEDBACK_LINES" -eq 17 ] || { echo "ci: feedback access-log lines = $FEEDBACK_LINES, want 17"; exit 1; }
+PREDICT_LINES=$(grep -c '"endpoint":"/v1/predict/matrix"' "$SMOKE/access3.log" || true)
+[ "$PREDICT_LINES" -lt 24 ] || { echo "ci: access-log sampling logged all $PREDICT_LINES predict requests"; exit 1; }
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo 'ci: recording serve did not exit cleanly on SIGTERM'; exit 1; }
 
 if [ "${1:-}" = bench ]; then
 	echo '== regenerating BENCH_obs.json (instrumented table -n 9, paper scale)'
@@ -128,6 +201,8 @@ if [ "${1:-}" = bench ]; then
 	go run ./cmd/spmvselect benchpar -workers 8 -out BENCH_parallel.json
 	echo '== regenerating BENCH_serve.json (single-request vs batched serving throughput)'
 	go run ./cmd/spmvselect benchserve -out BENCH_serve.json
+	echo '== regenerating BENCH_replay.json (record/feedback/replay quality loop)'
+	go run ./cmd/spmvselect benchreplay -out BENCH_replay.json
 fi
 
 echo 'ci: all checks passed'

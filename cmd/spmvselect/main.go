@@ -24,8 +24,14 @@
 //	spmvselect monitor -addr HOST:PORT    poll a running serve instance's
 //	                                      /metrics, SLO and drift endpoints and
 //	                                      render a terminal status table
+//	spmvselect replay -dir DIR -addr ...  play a serve -record capture back
+//	                                      against a live server, diffing the
+//	                                      replayed predictions vs the recording
 //	spmvselect benchserve                 measure single-request vs batched
 //	                                      serving throughput (BENCH_serve.json)
+//	spmvselect benchreplay                record, feedback and replay a known
+//	                                      request mix, gating on reproduced
+//	                                      predictions (BENCH_replay.json)
 //	spmvselect cpubench -dir DIR          run the pipeline on real measured
 //	                                      host-CPU SpMV times over a
 //	                                      directory of .mtx(.gz) files
@@ -89,6 +95,10 @@ func main() {
 		err = cmdMonitor(os.Args[2:])
 	case "benchserve":
 		err = cmdBenchServe(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "benchreplay":
+		err = cmdBenchReplay(os.Args[2:])
 	case "cpubench":
 		err = cmdCPUBench(os.Args[2:])
 	case "benchpar":
@@ -115,11 +125,14 @@ func usage() {
   spmvselect train -save FILE [-arch Turing] [-model semisup|knn|tree|forest|logreg] [-clusters K] [-quick]
   spmvselect serve (-model FILE | -models arch=path,...) [-shadow arch=path,...] [-default-arch A]
              [-admin-token T] [-addr :8080] [-portfile PATH] [-max-concurrent N] [-max-batch N]
-             [-cache N] [-timeout D] [-obs ADDR] [-access-log PATH] [-slo-target X]
-  spmvselect request -addr HOST:PORT (-mtx FILE | -batch "f1,f2,..." | -features "v1,v2,..." | -get PATH | -post PATH) [-arch A] [-token T] [-request-id ID]
+             [-cache N] [-timeout D] [-obs ADDR] [-access-log PATH] [-access-log-sample N]
+             [-slo-target X] [-record DIR] [-record-max-mb N]
+  spmvselect request -addr HOST:PORT (-mtx FILE | -batch "f1,f2,..." | -features "v1,v2,..." | -get PATH | -post PATH [-json BODY]) [-arch A] [-token T] [-request-id ID]
   spmvselect promote -addr HOST:PORT -token T [-arch A]
   spmvselect monitor -addr HOST:PORT [-token T] [-interval D] [-once]
+  spmvselect replay -dir DIR -addr HOST:PORT [-concurrency N] [-rate R] [-arch-skew "a=w,..."] [-out PATH]
   spmvselect benchserve [-matrices N] [-batch N] [-rounds N] [-out PATH] [-min-speedup X]
+  spmvselect benchreplay [-singles N] [-batches N] [-batch-size N] [-concurrency N] [-out PATH] [-min-speedup X]
   spmvselect cpubench -dir DIR [-trials N] [-clusters K] [-quick] [-obs ADDR] [-report PATH]
   spmvselect report [-in PATH] [-text]`)
 }

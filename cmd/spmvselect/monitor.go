@@ -60,8 +60,13 @@ func cmdMonitor(args []string) error {
 			prev = cur
 		}
 		if *once {
-			// One-shot smoke mode: beyond fetching and parsing, the core
-			// request-telemetry families must actually be exposed.
+			// One-shot smoke mode: the server must be ready (a reachable
+			// but 503 /readyz is a failure, not a dashboard state) and,
+			// beyond fetching and parsing, the core request-telemetry
+			// families must actually be exposed.
+			if !cur.ready {
+				return fmt.Errorf("monitor: %s is not ready (/readyz answered non-200)", *addr)
+			}
 			for _, fam := range []string{"spmvselect_serve_http_seconds", "spmvselect_serve_http_requests_total", "spmvselect_slo_availability"} {
 				if _, ok := cur.metrics.Types[fam]; !ok {
 					return fmt.Errorf("monitor: /metrics is missing the %s family", fam)
@@ -89,6 +94,10 @@ func pollServer(client *http.Client, addr, token string) (*monitorSample, error)
 	resp, err = client.Get("http://" + addr + "/metrics")
 	if err != nil {
 		return nil, fmt.Errorf("polling /metrics: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("polling /metrics: server answered %d", resp.StatusCode)
 	}
 	s.metrics, err = obs.ParsePrometheus(resp.Body)
 	resp.Body.Close()

@@ -169,7 +169,10 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout, queueing included")
 	obsAddr := fs.String("obs", "", "serve expvar+pprof (with the serve/* metrics) on this address too")
 	accessLog := fs.String("access-log", "", `write one JSON access-log line per request here ("-" for stderr)`)
+	logSample := fs.Int("access-log-sample", 0, "log only 1-in-N requests (errors and feedback are always logged; 0/1 = log everything)")
 	sloTarget := fs.Float64("slo-target", 0, "availability objective for the SLO windows and burn rates (default 0.999)")
+	recordDir := fs.String("record", "", "capture every prediction request (body + routing metadata) to rotating files in this directory, for `spmvselect replay`")
+	recordMaxMB := fs.Int("record-max-mb", 64, "capture file rotation threshold in MiB")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -229,14 +232,26 @@ func cmdServe(args []string) error {
 		logger = slog.New(slog.NewJSONHandler(w, nil))
 	}
 
+	var capture *obs.CaptureWriter
+	if *recordDir != "" {
+		capture, err = obs.NewCaptureWriter(*recordDir, int64(*recordMaxMB)<<20)
+		if err != nil {
+			return fmt.Errorf("serve: opening capture directory: %w", err)
+		}
+		defer capture.Close()
+		fmt.Fprintf(os.Stderr, "serve: recording prediction traffic to %s\n", capture.Dir())
+	}
+
 	srv, err := serve.NewBackendServer(reg, serve.Config{
-		MaxConcurrent: *maxConc,
-		CacheSize:     *cacheSize,
-		Timeout:       *timeout,
-		MaxBatchItems: *maxBatch,
-		AdminToken:    *adminToken,
-		AccessLog:     logger,
-		SLOObjective:  *sloTarget,
+		MaxConcurrent:   *maxConc,
+		CacheSize:       *cacheSize,
+		Timeout:         *timeout,
+		MaxBatchItems:   *maxBatch,
+		AdminToken:      *adminToken,
+		AccessLog:       logger,
+		AccessLogSample: *logSample,
+		SLOObjective:    *sloTarget,
+		Capture:         capture,
 	})
 	if err != nil {
 		return err
@@ -305,7 +320,8 @@ func cmdRequest(args []string) error {
 	featuresCSV := fs.String("features", "", "comma-separated raw feature vector to submit instead of a matrix")
 	arch := fs.String("arch", "", "route the prediction to this architecture's model")
 	get := fs.String("get", "", "GET this path (e.g. /readyz) and print the body")
-	post := fs.String("post", "", "POST an empty body to this path (e.g. /v1/admin/reload)")
+	post := fs.String("post", "", "POST to this path (e.g. /v1/admin/reload); body from -json, else empty")
+	jsonBody := fs.String("json", "", "JSON body sent with -post as application/json (e.g. a /v1/feedback report)")
 	token := fs.String("token", "", "bearer token sent as Authorization (for /v1/admin/*)")
 	requestID := fs.String("request-id", "", "send this X-Request-ID so the call is findable in the server's access log")
 	timeout := fs.Duration("timeout", 30*time.Second, "request timeout")
@@ -373,6 +389,9 @@ func cmdRequest(args []string) error {
 		method, path = http.MethodGet, *get
 	case *post != "":
 		path = *post
+		if *jsonBody != "" {
+			contentType, body = "application/json", strings.NewReader(*jsonBody)
+		}
 	}
 	return doRequestID(method, *addr, path, contentType, *token, *requestID, body, *timeout)
 }

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCaptureRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewCaptureWriter(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		rec := []byte(fmt.Sprintf("record-%02d:%s", i, strings.Repeat("x", i*7)))
+		want = append(want, rec)
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.Records(); got != 20 {
+		t.Errorf("Records() = %d, want 20", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if err := w.Append([]byte("late")); err == nil {
+		t.Error("Append after Close succeeded")
+	}
+
+	var got [][]byte
+	if err := ReadCaptureDir(dir, func(rec []byte) error {
+		got = append(got, append([]byte(nil), rec...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCaptureRotationAndResume(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny threshold: every ~50-byte record forces a rotation.
+	w, err := NewCaptureWriter(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := bytes.Repeat([]byte("r"), 50)
+	for i := 0; i < 5; i++ {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, err := CaptureFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("rotation produced %d files, want >= 3", len(files))
+	}
+
+	// A new writer in the same directory must not clobber old files.
+	w2, err := NewCaptureWriter(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append([]byte("resumed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	var last []byte
+	if err := ReadCaptureDir(dir, func(rec []byte) error {
+		count++
+		last = append([]byte(nil), rec...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 6 || string(last) != "resumed" {
+		t.Errorf("after resume: %d records, last %q; want 6, \"resumed\"", count, last)
+	}
+}
+
+func TestCaptureTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewCaptureWriter(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("whole")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("will-be-torn")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, err := CaptureFiles(dir)
+	if err != nil || len(files) != 1 {
+		t.Fatalf("files = %v, %v", files, err)
+	}
+	// Tear the final record: drop its last 3 bytes.
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	err = ReadCaptureDir(dir, func(rec []byte) error {
+		got = append(got, append([]byte(nil), rec...))
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("torn tail: err = %v, want truncated-record error", err)
+	}
+	if len(got) != 1 || string(got[0]) != "whole" {
+		t.Errorf("intact records before the tear = %q, want [whole]", got)
+	}
+}
+
+func TestCaptureEmptyDirAndBadRecords(t *testing.T) {
+	dir := t.TempDir()
+	if err := ReadCaptureDir(dir, func([]byte) error { return nil }); err == nil {
+		t.Error("empty dir: want an error")
+	}
+	w, err := NewCaptureWriter(filepath.Join(dir, "sub"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(nil); err == nil {
+		t.Error("empty record accepted")
+	}
+}

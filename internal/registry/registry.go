@@ -67,7 +67,11 @@ type Registry struct {
 	// carry a training baseline; driftOpts tunes it.
 	drift     map[string]*driftState
 	driftOpts DriftOptions
-	onSwap    []func()
+	// quality holds the per-arch measured-outcome window for live
+	// artifacts (fed by /v1/feedback); qualityOpts tunes it.
+	quality     map[string]*qualityState
+	qualityOpts QualityOptions
+	onSwap      []func()
 
 	swaps      *obs.Counter
 	reloads    *obs.Counter
@@ -76,11 +80,12 @@ type Registry struct {
 }
 
 // The registry satisfies the serving interfaces, including the
-// drift-monitoring surface.
+// drift-monitoring and measured-quality surfaces.
 var (
-	_ serve.Backend      = (*Registry)(nil)
-	_ serve.AdminBackend = (*Registry)(nil)
-	_ serve.DriftBackend = (*Registry)(nil)
+	_ serve.Backend        = (*Registry)(nil)
+	_ serve.AdminBackend   = (*Registry)(nil)
+	_ serve.DriftBackend   = (*Registry)(nil)
+	_ serve.QualityBackend = (*Registry)(nil)
 )
 
 // New returns an empty registry. Configure architectures, then LoadAll.
@@ -90,6 +95,7 @@ func New() *Registry {
 		shadow:     map[string]*slot{},
 		stats:      map[string]*ShadowStats{},
 		drift:      map[string]*driftState{},
+		quality:    map[string]*qualityState{},
 		swaps:      obs.Default.Counter("registry/swaps"),
 		reloads:    obs.Default.Counter("registry/reloads"),
 		promotes:   obs.Default.Counter("registry/promotes"),
@@ -262,8 +268,10 @@ func (r *Registry) Reload() (changed []string, err error) {
 		}
 		if !t.shadow {
 			// A new live model means new drift windows against its own
-			// training baseline.
+			// training baseline, and a fresh quality window — old
+			// outcomes described the replaced model.
 			r.installDriftLocked(t.arch, entry.Artifact)
+			r.installQualityLocked(t.arch, entry.Artifact)
 		}
 	}
 	// Record load failures on their slots for /readyz.
@@ -348,6 +356,7 @@ func (r *Registry) Promote(arch string) (string, error) {
 	delete(r.shadow, a)
 	delete(r.stats, a)
 	r.installDriftLocked(a, ls.entry.Artifact)
+	r.installQualityLocked(a, ls.entry.Artifact)
 	hash := ls.entry.Hash
 	r.mu.Unlock()
 

@@ -1,6 +1,8 @@
 package registry
 
 import (
+	"math"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/obs"
@@ -34,6 +36,49 @@ type ShadowStats struct {
 	// (a foreign artifact with more formats); they still count as
 	// scored and agree/disagree.
 	outOfRange atomic.Int64
+
+	// Measured tallies, fed by /v1/feedback outcomes that cover both
+	// sides' formats: how the pair compares on real kernel times, not
+	// just label agreement. Guarded by a mutex — feedback volume is a
+	// trickle next to the prediction path.
+	measuredMu sync.Mutex
+	measured   int64 // outcomes where both sides' formats were timed
+	liveWins   int64
+	candWins   int64
+	ties       int64
+	// Log-regret sums over full sweeps, for geometric means: how much
+	// slower than the measured-best format each side's pick was.
+	liveLogRegret  float64
+	candLogRegret  float64
+	regretMeasured int64
+}
+
+// recordMeasured tallies one feedback outcome against the pair. Only
+// outcomes timing both the live and candidate picks compare them; full
+// sweeps additionally feed the per-side regret geometric means.
+func (s *ShadowStats) recordMeasured(o serve.Outcome) {
+	if !(o.ServedMs > 0) || !(o.CandidateMs > 0) {
+		return
+	}
+	s.measuredMu.Lock()
+	defer s.measuredMu.Unlock()
+	s.measured++
+	switch {
+	case o.CandidateMs < o.ServedMs:
+		s.candWins++
+	case o.CandidateMs > o.ServedMs:
+		s.liveWins++
+	default:
+		s.ties++
+	}
+	if o.Full && o.Regret > 0 {
+		// bestMs is recoverable from the live side's regret; the
+		// candidate's regret is its own time over the same best.
+		bestMs := o.ServedMs / o.Regret
+		s.liveLogRegret += math.Log(o.Regret)
+		s.candLogRegret += math.Log(o.CandidateMs / bestMs)
+		s.regretMeasured++
+	}
 }
 
 func newShadowStats() *ShadowStats { return &ShadowStats{} }
@@ -63,6 +108,10 @@ func (s *ShadowStats) Reset() {
 	for i := range s.confusion {
 		s.confusion[i].Store(0)
 	}
+	s.measuredMu.Lock()
+	s.measured, s.liveWins, s.candWins, s.ties = 0, 0, 0, 0
+	s.liveLogRegret, s.candLogRegret, s.regretMeasured = 0, 0, 0
+	s.measuredMu.Unlock()
 }
 
 // Shadow metrics share the obs registry with everything else.
@@ -111,6 +160,16 @@ type ArchShadowReport struct {
 	Formats    []string  `json:"formats"`
 	Confusion  [][]int64 `json:"confusion"`
 	OutOfRange int64     `json:"out_of_range,omitempty"`
+	// Measured quality, from /v1/feedback outcomes that timed both
+	// sides' picks: head-to-head wins and (over full sweeps) each
+	// side's oracle-slowdown geometric mean. The evidence to promote
+	// on when agreement alone is ambiguous.
+	MeasuredScored    int64   `json:"measured_scored,omitempty"`
+	LiveWins          int64   `json:"live_wins,omitempty"`
+	CandidateWins     int64   `json:"candidate_wins,omitempty"`
+	Ties              int64   `json:"ties,omitempty"`
+	LiveRegretGM      float64 `json:"live_regret_gm,omitempty"`
+	CandidateRegretGM float64 `json:"candidate_regret_gm,omitempty"`
 }
 
 // ShadowReportData is the full /v1/admin/shadow answer.
@@ -144,6 +203,17 @@ func (r *Registry) ShadowReport() any {
 		if ar.Scored > 0 {
 			ar.AgreementRate = float64(ar.Agree) / float64(ar.Scored)
 		}
+		st.measuredMu.Lock()
+		ar.MeasuredScored = st.measured
+		ar.LiveWins = st.liveWins
+		ar.CandidateWins = st.candWins
+		ar.Ties = st.ties
+		if st.regretMeasured > 0 {
+			n := float64(st.regretMeasured)
+			ar.LiveRegretGM = math.Exp(st.liveLogRegret / n)
+			ar.CandidateRegretGM = math.Exp(st.candLogRegret / n)
+		}
+		st.measuredMu.Unlock()
 		if ls := r.live[a]; ls != nil && ls.entry != nil {
 			ar.LiveHash = ls.entry.Hash
 		}

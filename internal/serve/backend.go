@@ -88,6 +88,48 @@ type DriftBackend interface {
 	DriftReport() any
 }
 
+// Outcome is one measured prediction outcome, assembled by the
+// /v1/feedback handler from a client's reported kernel times and the
+// prediction the server remembers serving under that request ID.
+type Outcome struct {
+	// Predicted is the answer the live model served.
+	Predicted Prediction
+	// BestLabel / BestFormat name the measured-fastest format when the
+	// client reported a full per-format sweep (Full); -1 / "" otherwise.
+	BestLabel  int
+	BestFormat string
+	// Regret is servedTime/bestTime (>= 1; 1 when the prediction was
+	// the oracle pick). 0 when the sweep was not full.
+	Regret float64
+	// ServedMs is the measured time of the served format.
+	ServedMs float64
+	// Full marks a complete per-format sweep — only full outcomes feed
+	// accuracy, regret and the confusion matrix; served-only outcomes
+	// still count toward latency and volume.
+	Full bool
+	// HasCandidate marks requests a shadow candidate also answered;
+	// Candidate is its prediction and CandidateMs its measured time
+	// (0 when the client's sweep did not cover the candidate's format).
+	HasCandidate bool
+	Candidate    Prediction
+	CandidateMs  float64
+}
+
+// QualityBackend is the optional measured-quality surface: backends
+// that implement it receive every feedback outcome and answer
+// /v1/admin/quality. The registry implements it with per-arch rolling
+// windows of top-1 accuracy, regret quantiles and a predicted-vs-best
+// confusion matrix, and routes shadow-candidate outcomes into the
+// shadow report so promotions can weigh measured quality.
+type QualityBackend interface {
+	// RecordOutcome feeds one measured outcome for arch into the
+	// quality windows.
+	RecordOutcome(arch string, o Outcome)
+	// QualityReport returns the JSON-serialisable quality report and
+	// refreshes the derived quality gauges.
+	QualityReport() any
+}
+
 // AdminBackend is the optional mutation surface behind /v1/admin/*.
 type AdminBackend interface {
 	// Reload re-reads every artifact from its source, swapping only the

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 
@@ -79,6 +80,24 @@ type batchResponse struct {
 	Results   []batchItem `json:"results"`
 }
 
+// predictBatchItem answers one batch position: the shared predictBody
+// path plus the per-item feedback registration (batch item i of
+// request ID reports as "ID#i").
+func (s *Server) predictBatchItem(ctx context.Context, lm, cand LiveModel, shadowed bool, scratch *features.Scratch, item []byte, i int) batchItem {
+	if err := ctx.Err(); err != nil {
+		return batchItem{Error: "request cancelled: " + err.Error()}
+	}
+	if len(item) == 0 {
+		return batchItem{Error: "empty matrix body"}
+	}
+	ans, err := s.predictBody(lm, cand, shadowed, scratch, item)
+	if err != nil {
+		return batchItem{Error: err.Error()}
+	}
+	s.notePending(ctx, "#"+strconv.Itoa(i), lm, ans.pred, ans.cand, ans.candOK)
+	return batchItem{Prediction: ans.pred, Cached: ans.cached}
+}
+
 // predictBatch answers a bounded batch of MatrixMarket bodies.
 func (s *Server) predictBatch(ctx context.Context, r *http.Request) (any, error) {
 	body, err := s.readBody(r)
@@ -133,28 +152,25 @@ func (s *Server) predictBatch(ctx context.Context, r *http.Request) (any, error)
 		// handful of buffer allocations instead of three per matrix.
 		var scratch features.Scratch
 		for i := lo; i < hi; i++ {
-			if err := ctx.Err(); err != nil {
-				results[i] = batchItem{Error: "request cancelled: " + err.Error()}
+			// Each item gets its own span; ctx carries the request's
+			// trace ID, so every item in the fan-out is attributable to
+			// the parent X-Request-ID.
+			_, span := obs.Start(ctx, "serve/batch/item")
+			span.SetMetric("index", float64(i))
+			results[i] = s.predictBatchItem(ctx, lm, cand, shadowed, &scratch, items[i], i)
+			if results[i].Error != "" {
 				itemErrs.Add(1)
-				continue
 			}
-			item := items[i]
-			if len(item) == 0 {
-				results[i] = batchItem{Error: "empty matrix body"}
-				itemErrs.Add(1)
-				continue
-			}
-			pred, cached, err := s.predictBody(lm, cand, shadowed, &scratch, item)
-			if err != nil {
-				results[i] = batchItem{Error: err.Error()}
-				itemErrs.Add(1)
-				continue
-			}
-			results[i] = batchItem{Prediction: pred, Cached: cached}
+			span.End()
 		}
 	})
 	errs := int(itemErrs.Load())
 	s.batchErrors.Add(int64(errs))
+	preds := make([]string, n)
+	for i := range results {
+		preds[i] = results[i].Format // "" for failed items
+	}
+	s.captureRequest(ctx, "/v1/predict/batch", lm, ct, body, preds)
 	return batchResponse{
 		Arch:      lm.Arch,
 		ModelHash: lm.Hash,

@@ -12,6 +12,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/features"
@@ -50,6 +51,18 @@ type Config struct {
 	// SLOObjective is the availability target the SLO windows report
 	// burn rates against (default 0.999).
 	SLOObjective float64
+	// AccessLogSample logs one in N requests when > 1 (errors and
+	// /v1/feedback are always logged), bounding log volume under
+	// replay/load-test traffic. 0 or 1 logs everything.
+	AccessLogSample int
+	// Capture, when non-nil, records every successfully answered
+	// prediction request (metadata header + verbatim body) for
+	// `spmvselect replay`.
+	Capture *obs.CaptureWriter
+	// PendingFeedback is the capacity of the consume-once table joining
+	// /v1/feedback reports to served predictions (default 4096). Only
+	// used when the backend implements QualityBackend.
+	PendingFeedback int
 }
 
 func (c Config) withDefaults() Config {
@@ -81,14 +94,17 @@ func (c Config) withDefaults() Config {
 //	POST /v1/predict/matrix    MatrixMarket body -> prediction
 //	POST /v1/predict/features  {"features": [...], "arch": "..."} -> prediction
 //	POST /v1/predict/batch     {"matrices": [...], "arch": "..."} -> predictions
+//	POST /v1/feedback          measured kernel times for a served
+//	                           prediction, keyed by X-Request-ID
 //	GET  /metrics              Prometheus text exposition (obs.Default,
-//	                           SLO windows and drift gauges refreshed
-//	                           per scrape)
+//	                           SLO windows, drift and quality gauges
+//	                           refreshed per scrape)
 //	POST /v1/admin/reload      hot-swap changed artifacts from disk
 //	POST /v1/admin/promote     flip a shadow candidate to live
 //	GET  /v1/admin/shadow      shadow evaluation report
 //	GET  /v1/admin/slo         rolling-window SLO report (1m/5m/1h)
 //	GET  /v1/admin/drift       served-prediction drift report
+//	GET  /v1/admin/quality     measured prediction-quality report
 //
 // Predictions route by the request's arch (query parameter, or body
 // field on the JSON endpoints); an empty arch selects the backend's
@@ -107,6 +123,10 @@ func (c Config) withDefaults() Config {
 //	serve/batch/items         counter    matrices received in batches
 //	serve/batch/item_errors   counter    batch items answered with a per-item error
 //	serve/shadow/errors       counter    shadow candidate predictions that failed
+//	serve/capture/records     counter    requests appended to the capture log
+//	serve/capture/errors      counter    capture appends that failed
+//	serve/feedback/accepted   counter    feedback reports joined to a prediction
+//	serve/feedback/rejected   counter    feedback reports refused
 //	serve/admin/requests      counter    admin endpoint hits
 //	serve/admin/unauthorized  counter    admin requests refused for a bad/missing token
 //	serve/inflight            gauge      predictions currently executing
@@ -124,14 +144,19 @@ func (c Config) withDefaults() Config {
 // rolling SLO windows behind /v1/admin/slo.
 type Server struct {
 	backend Backend
-	admin   AdminBackend // nil when the backend has no admin surface
-	drift   DriftBackend // nil when the backend has no drift monitor
+	admin   AdminBackend   // nil when the backend has no admin surface
+	drift   DriftBackend   // nil when the backend has no drift monitor
+	quality QualityBackend // nil when the backend keeps no quality windows
 	cfg     Config
 	sem     chan struct{}
 	cache   *lruCache
+	capture *obs.CaptureWriter // nil unless recording traffic
+	pending *pendingStore      // nil unless quality != nil
+	started time.Time
 
 	slo       *obs.SLOWindows
 	accessLog *slog.Logger
+	logSeq    atomic.Int64 // access-log sampling counter
 
 	requests     *obs.Counter
 	errors       *obs.Counter
@@ -150,6 +175,11 @@ type Server struct {
 	httpLatency  *obs.HistogramVec
 	httpRequests *obs.CounterVec
 	predictions  *obs.CounterVec
+
+	captureRecords   *obs.Counter
+	captureErrors    *obs.Counter
+	feedbackAccepted *obs.Counter
+	feedbackRejected *obs.Counter
 }
 
 // NewServer wraps a single validated artifact — the original
@@ -172,13 +202,22 @@ func NewBackendServer(b Backend, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	admin, _ := b.(AdminBackend)
 	drift, _ := b.(DriftBackend)
+	quality, _ := b.(QualityBackend)
+	var pending *pendingStore
+	if quality != nil {
+		pending = newPendingStore(cfg.PendingFeedback)
+	}
 	return &Server{
 		backend:      b,
 		admin:        admin,
 		drift:        drift,
+		quality:      quality,
 		cfg:          cfg,
 		sem:          make(chan struct{}, cfg.MaxConcurrent),
 		cache:        newLRUCache(cfg.CacheSize),
+		capture:      cfg.Capture,
+		pending:      pending,
+		started:      time.Now(),
 		slo:          obs.NewSLOWindows(obs.SLOConfig{Objective: cfg.SLOObjective}),
 		accessLog:    cfg.AccessLog,
 		requests:     obs.Default.Counter("serve/requests"),
@@ -198,6 +237,11 @@ func NewBackendServer(b Backend, cfg Config) (*Server, error) {
 		httpLatency:  obs.Default.HistogramVec("serve/http/seconds", obs.DurationBuckets, "endpoint", "arch"),
 		httpRequests: obs.Default.CounterVec("serve/http/requests", "endpoint", "status"),
 		predictions:  obs.Default.CounterVec("serve/predictions", "arch", "format"),
+
+		captureRecords:   obs.Default.Counter("serve/capture/records"),
+		captureErrors:    obs.Default.Counter("serve/capture/errors"),
+		feedbackAccepted: obs.Default.Counter("serve/feedback/accepted"),
+		feedbackRejected: obs.Default.Counter("serve/feedback/rejected"),
 	}, nil
 }
 
@@ -238,11 +282,14 @@ type modelResponse struct {
 	ShadowHash string   `json:"shadow_hash,omitempty"`
 }
 
-// readyResponse is the /readyz body.
+// readyResponse is the /readyz body: readiness, process uptime and the
+// per-arch live model hashes, so a fleet health check can both gate
+// traffic (the status code) and detect stale artifacts (the hashes).
 type readyResponse struct {
-	Ready  bool         `json:"ready"`
-	Error  string       `json:"error,omitempty"`
-	Arches []ArchStatus `json:"arches"`
+	Ready         bool         `json:"ready"`
+	Error         string       `json:"error,omitempty"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Arches        []ArchStatus `json:"arches"`
 }
 
 // errorResponse is the JSON error body.
@@ -266,11 +313,13 @@ func (s *Server) Handler() http.Handler {
 	route("/v1/predict/matrix", s.limited(s.predictMatrix))
 	route("/v1/predict/features", s.limited(s.predictFeatures))
 	route("/v1/predict/batch", s.limited(s.predictBatch))
+	route("/v1/feedback", s.handleFeedback)
 	route("/v1/admin/reload", s.adminEndpoint(http.MethodPost, true, s.adminReload))
 	route("/v1/admin/promote", s.adminEndpoint(http.MethodPost, true, s.adminPromote))
 	route("/v1/admin/shadow", s.adminEndpoint(http.MethodGet, true, s.adminShadow))
 	route("/v1/admin/slo", s.adminEndpoint(http.MethodGet, false, s.adminSLO))
 	route("/v1/admin/drift", s.adminEndpoint(http.MethodGet, false, s.adminDrift))
+	route("/v1/admin/quality", s.adminEndpoint(http.MethodGet, false, s.adminQuality))
 	return mux
 }
 
@@ -281,6 +330,9 @@ func (s *Server) refreshDerived() {
 	if s.drift != nil {
 		s.drift.DriftReport() // updates the registry's drift gauges
 	}
+	if s.quality != nil {
+		s.quality.QualityReport() // updates the registry's quality gauges
+	}
 }
 
 // handleReady reports per-arch load state: 200 once every configured
@@ -288,7 +340,10 @@ func (s *Server) refreshDerived() {
 // loading or failed — the signal orchestrators gate traffic on during
 // startup and reload.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
-	resp := readyResponse{Arches: s.backend.Status()}
+	resp := readyResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Arches:        s.backend.Status(),
+	}
 	if err := s.backend.Ready(); err != nil {
 		resp.Error = err.Error()
 		writeJSON(w, http.StatusServiceUnavailable, resp)
@@ -419,6 +474,16 @@ func (s *Server) readBody(r *http.Request) ([]byte, error) {
 	return body, nil
 }
 
+// answered is one resolved prediction: the served answer, its cache
+// disposition, and the shadow candidate's answer when one scored the
+// same request — what feedback joins measured outcomes against.
+type answered struct {
+	pred   Prediction
+	cached bool
+	cand   Prediction
+	candOK bool
+}
+
 // predictBody answers one MatrixMarket body against a resolved live
 // model: cache lookup (keyed by body content and the live artifact
 // hash), parse, extract (through the caller's scratch), predict, shadow
@@ -429,7 +494,7 @@ func (s *Server) readBody(r *http.Request) ([]byte, error) {
 // bypassed entirely: shadow evaluation wants every request scored by
 // both models, and serving the live answer from the LRU would silently
 // shrink the comparison sample.
-func (s *Server) predictBody(lm LiveModel, cand LiveModel, shadowed bool, scratch *features.Scratch, body []byte) (Prediction, bool, error) {
+func (s *Server) predictBody(lm LiveModel, cand LiveModel, shadowed bool, scratch *features.Scratch, body []byte) (answered, error) {
 	key := contentKey("matrix", lm.Hash, body)
 	if !shadowed {
 		if pred, ok := s.cache.Get(key); ok {
@@ -437,26 +502,27 @@ func (s *Server) predictBody(lm LiveModel, cand LiveModel, shadowed bool, scratc
 			// Cache hits never parse the body, so the drift monitor only
 			// sees the label stream (vec is nil).
 			s.recordPrediction(lm.Arch, pred, nil)
-			return pred, true, nil
+			return answered{pred: pred, cached: true}, nil
 		}
 	}
 	s.cacheMisses.Inc()
 	m, err := sparse.ReadMatrixMarketBytes(body)
 	if err != nil {
-		return Prediction{}, false, badRequest("parsing MatrixMarket body: %v", err)
+		return answered{}, badRequest("parsing MatrixMarket body: %v", err)
 	}
 	vec := scratch.Extract(m).Slice()
 	pred, err := lm.Artifact.Predict(vec)
 	if err != nil {
-		return Prediction{}, false, badRequest("%v", err)
+		return answered{}, badRequest("%v", err)
 	}
+	ans := answered{pred: pred}
 	if shadowed {
-		s.scoreShadow(lm.Arch, cand, pred, vec)
+		ans.cand, ans.candOK = s.scoreShadow(lm.Arch, cand, pred, vec)
 	} else {
 		s.cache.Put(key, pred)
 	}
 	s.recordPrediction(lm.Arch, pred, vec)
-	return pred, false, nil
+	return ans, nil
 }
 
 // recordPrediction tallies one served answer: the per-arch/format
@@ -470,15 +536,17 @@ func (s *Server) recordPrediction(arch string, pred Prediction, vec []float64) {
 	}
 }
 
-// scoreShadow runs the candidate on the same feature vector and tallies
-// the live-vs-candidate comparison in the backend.
-func (s *Server) scoreShadow(arch string, cand LiveModel, live Prediction, vec []float64) {
+// scoreShadow runs the candidate on the same feature vector, tallies
+// the live-vs-candidate comparison in the backend, and returns the
+// candidate's answer so feedback can score it on measured times too.
+func (s *Server) scoreShadow(arch string, cand LiveModel, live Prediction, vec []float64) (Prediction, bool) {
 	cp, err := cand.Artifact.Predict(vec)
 	if err != nil {
 		s.shadowErrors.Inc()
-		return
+		return Prediction{}, false
 	}
 	s.backend.RecordShadow(arch, live, cp)
+	return cp, true
 }
 
 // predictMatrix answers a MatrixMarket body, routed by ?arch=.
@@ -497,12 +565,14 @@ func (s *Server) predictMatrix(ctx context.Context, r *http.Request) (any, error
 	}
 	cand, shadowed := s.backend.Shadow(lm.Arch)
 	var scratch features.Scratch
-	pred, cached, err := s.predictBody(lm, cand, shadowed, &scratch, body)
+	ans, err := s.predictBody(lm, cand, shadowed, &scratch, body)
 	if err != nil {
 		return nil, err
 	}
-	noteCached(ctx, cached)
-	return predictResponse{Prediction: pred, Arch: lm.Arch, ModelHash: lm.Hash, Cached: cached}, nil
+	noteCached(ctx, ans.cached)
+	s.notePending(ctx, "", lm, ans.pred, ans.cand, ans.candOK)
+	s.captureRequest(ctx, "/v1/predict/matrix", lm, r.Header.Get("Content-Type"), body, []string{ans.pred.Format})
+	return predictResponse{Prediction: ans.pred, Arch: lm.Arch, ModelHash: lm.Hash, Cached: ans.cached}, nil
 }
 
 // featuresRequest is the JSON body of /v1/predict/features.
@@ -544,6 +614,8 @@ func (s *Server) predictFeatures(ctx context.Context, r *http.Request) (any, err
 			// The feature vector is in hand even on a hit, so the drift
 			// monitor sees the full observation.
 			s.recordPrediction(lm.Arch, pred, req.Features)
+			s.notePending(ctx, "", lm, pred, Prediction{}, false)
+			s.captureRequest(ctx, "/v1/predict/features", lm, r.Header.Get("Content-Type"), body, []string{pred.Format})
 			return predictResponse{Prediction: pred, Arch: lm.Arch, ModelHash: lm.Hash, Cached: true}, nil
 		}
 	}
@@ -552,12 +624,16 @@ func (s *Server) predictFeatures(ctx context.Context, r *http.Request) (any, err
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
+	var candPred Prediction
+	var candOK bool
 	if shadowed {
-		s.scoreShadow(lm.Arch, cand, pred, req.Features)
+		candPred, candOK = s.scoreShadow(lm.Arch, cand, pred, req.Features)
 	} else {
 		s.cache.Put(key, pred)
 	}
 	s.recordPrediction(lm.Arch, pred, req.Features)
+	s.notePending(ctx, "", lm, pred, candPred, candOK)
+	s.captureRequest(ctx, "/v1/predict/features", lm, r.Header.Get("Content-Type"), body, []string{pred.Format})
 	return predictResponse{Prediction: pred, Arch: lm.Arch, ModelHash: lm.Hash, Cached: false}, nil
 }
 

@@ -71,6 +71,19 @@ func newTraceID() string {
 	return hex.EncodeToString(b[:])
 }
 
+// logThis applies access-log sampling: with -access-log-sample N only
+// every Nth request is logged, but error responses and feedback are
+// always logged — errors are what the log is for, and feedback closes
+// the quality loop, so its trail must stay complete even under replay
+// or load-test traffic.
+func (s *Server) logThis(endpoint string, status int) bool {
+	n := int64(s.cfg.AccessLogSample)
+	if n <= 1 || status >= 400 || endpoint == "/v1/feedback" {
+		return true
+	}
+	return s.logSeq.Add(1)%n == 1
+}
+
 // statusWriter captures the response status for metrics and logging.
 type statusWriter struct {
 	http.ResponseWriter
@@ -118,7 +131,7 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		if inSLO {
 			s.slo.Observe(dur.Seconds(), sw.status >= 500)
 		}
-		if s.accessLog != nil {
+		if s.accessLog != nil && s.logThis(endpoint, sw.status) {
 			s.accessLog.LogAttrs(context.Background(), slog.LevelInfo, "request",
 				slog.String("trace_id", trace),
 				slog.String("method", r.Method),
