@@ -18,7 +18,10 @@ bench-parallel:
 # bench-serve regenerates BENCH_serve.json: the same matrices served
 # one request at a time vs through /v1/predict/batch, gated so the
 # batch path never regresses below sequential serving (and must beat it
-# 2x on hosts with >= 4 CPUs).
+# 2x on hosts with >= 4 CPUs), plus the cascade-on/off columns — the
+# cheap-first stage's hit rate, mix agreement, calibrated threshold,
+# and p50 on above-threshold traffic (agreement gate always enforced;
+# the 2x latency gate only on hosts with >= 4 CPUs).
 bench-serve:
 	go run ./cmd/spmvselect benchserve -out BENCH_serve.json
 

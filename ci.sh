@@ -4,16 +4,20 @@
 # Usage: ./ci.sh [bench]
 #
 #   (no argument)  vet + build + race-enabled tests + the obs
-#                  disabled-path overhead benchmark + three end-to-end
+#                  disabled-path overhead benchmark + four end-to-end
 #                  serving smoke tests (single-model with telemetry:
 #                  access-log trace IDs, the Prometheus /metrics
 #                  exposition and `monitor -once`; the full registry:
 #                  multi-arch routing, batch, authenticated reload,
-#                  shadow evaluation and promote; and the quality loop
+#                  shadow evaluation and promote; the quality loop
 #                  under a race-enabled server: serve -record, mixed
 #                  traffic with /v1/feedback outcome reports, capture
 #                  replay reproducing every recorded prediction, and a
-#                  populated /v1/admin/quality window)
+#                  populated /v1/admin/quality window; and the
+#                  cheap-first cascade: a `train -cascade` artifact
+#                  served with stage metrics on /metrics, cascade
+#                  stats in /v1/admin/quality, and a capture replayed
+#                  with zero mismatches)
 #   bench          additionally regenerate BENCH_obs.json from an
 #                  instrumented paper-scale `table -n 9` run (minutes),
 #                  BENCH_parallel.json from `spmvselect benchpar`,
@@ -22,7 +26,10 @@
 #                  the machine-aware gate (3x with >= 8 CPUs; on
 #                  smaller hosts it only rejects pathological slowdown),
 #                  BENCH_serve.json from `spmvselect benchserve`
-#                  (batched vs single-request serving, same gate idea),
+#                  (batched vs single-request serving plus the
+#                  cascade-on/off comparison: calibrated agreement is
+#                  always enforced, the cheap-path p50 win only on
+#                  hosts with enough cores),
 #                  and BENCH_replay.json from `spmvselect benchreplay`
 #                  (record/feedback/replay cycle; hard-fails when a
 #                  replayed prediction differs from the recording)
@@ -192,6 +199,51 @@ PREDICT_LINES=$(grep -c '"endpoint":"/v1/predict/matrix"' "$SMOKE/access3.log" |
 [ "$PREDICT_LINES" -lt 24 ] || { echo "ci: access-log sampling logged all $PREDICT_LINES predict requests"; exit 1; }
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" || { echo 'ci: recording serve did not exit cleanly on SIGTERM'; exit 1; }
+
+echo '== cascade smoke test (cheap-first artifact, stage metrics, capture replay)'
+"$SMOKE/spmvselect" train -save "$SMOKE/cascade.gob" -quick -clusters 16 \
+	-cascade -cascade-target-agreement 0.85 >/dev/null
+"$SMOKE/spmvselect" serve -models "turing=$SMOKE/cascade.gob" -admin-token "$ADMIN_TOKEN" \
+	-addr 127.0.0.1:0 -portfile "$SMOKE/port4" -cache -1 -record "$SMOKE/capture2" &
+SERVE_PID=$!
+i=0
+while [ ! -s "$SMOKE/port4" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i+1)); done
+[ -s "$SMOKE/port4" ] || { echo 'ci: cascade serve never wrote its portfile'; exit 1; }
+ADDR=$(cat "$SMOKE/port4")
+i=0
+until "$SMOKE/spmvselect" request -addr "$ADDR" -get /readyz >/dev/null 2>&1; do
+	sleep 0.1; i=$((i+1))
+	[ $i -lt 100 ] || { echo 'ci: cascade serve never became ready'; exit 1; }
+done
+# The artifact advertises its calibration, and every computed answer
+# names the stage that produced it.
+OUT=$("$SMOKE/spmvselect" request -addr "$ADDR" -get /v1/model)
+echo "$OUT" | grep -q '"cascade":true' || { echo "ci: /v1/model does not advertise the cascade: $OUT"; exit 1; }
+OUT=$("$SMOKE/spmvselect" request -addr "$ADDR" -mtx "$MTX")
+echo "$OUT" | grep -q '"stage":"' || { echo "ci: cascade prediction carries no stage: $OUT"; exit 1; }
+"$SMOKE/spmvselect" request -addr "$ADDR" -mtx "$MTX2" >/dev/null
+"$SMOKE/spmvselect" request -addr "$ADDR" -mtx "$MTX" >/dev/null
+METRICS=$("$SMOKE/spmvselect" request -addr "$ADDR" -get /metrics)
+echo "$METRICS" | grep -q '^spmvselect_serve_cascade_hits_total' \
+	|| { echo 'ci: /metrics lacks the cascade hit counter'; exit 1; }
+echo "$METRICS" | grep -q '^spmvselect_serve_cascade_fallthroughs_total' \
+	|| { echo 'ci: /metrics lacks the cascade fallthrough counter'; exit 1; }
+echo "$METRICS" | grep -q 'spmvselect_serve_cascade_confidence' \
+	|| { echo 'ci: /metrics lacks the cascade confidence histogram'; exit 1; }
+# The stage tallies (hits + fallthroughs) must cover the 3 computed
+# predictions, and the quality report must carry the hit rate.
+HITS=$(echo "$METRICS" | sed -n 's/^spmvselect_serve_cascade_hits_total \([0-9]*\)$/\1/p')
+FALLS=$(echo "$METRICS" | sed -n 's/^spmvselect_serve_cascade_fallthroughs_total \([0-9]*\)$/\1/p')
+[ "$((HITS + FALLS))" -eq 3 ] || { echo "ci: cascade tallies $HITS+$FALLS, want 3"; exit 1; }
+QUALITY=$("$SMOKE/spmvselect" request -addr "$ADDR" -get /v1/admin/quality -token "$ADMIN_TOKEN")
+echo "$QUALITY" | grep -q '"cascade"' || { echo "ci: quality report lacks cascade stats: $QUALITY"; exit 1; }
+echo "$QUALITY" | grep -q '"window_size"' || { echo "ci: cascade graft broke the quality report shape: $QUALITY"; exit 1; }
+# Replaying the capture against the cascade artifact must reproduce
+# every recorded answer (mismatches == 0; replay exits non-zero else).
+"$SMOKE/spmvselect" replay -dir "$SMOKE/capture2" -addr "$ADDR" \
+	|| { echo 'ci: replay against the cascade artifact diverged from the recording'; exit 1; }
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo 'ci: cascade serve did not exit cleanly on SIGTERM'; exit 1; }
 
 if [ "${1:-}" = bench ]; then
 	echo '== regenerating BENCH_obs.json (instrumented table -n 9, paper scale)'

@@ -123,6 +123,7 @@ func usage() {
   spmvselect export -dir DIR [-count N] [-seed S]
   spmvselect predict -mtx FILE [-model FILE | -arch Turing [-quick]]
   spmvselect train -save FILE [-arch Turing] [-model semisup|knn|tree|forest|logreg] [-clusters K] [-quick]
+             [-cascade [-cascade-target-agreement X] [-cascade-model logreg|forest]]
   spmvselect serve (-model FILE | -models arch=path,...) [-shadow arch=path,...] [-default-arch A]
              [-admin-token T] [-addr :8080] [-portfile PATH] [-max-concurrent N] [-max-batch N]
              [-cache N] [-timeout D] [-obs ADDR] [-access-log PATH] [-access-log-sample N]

@@ -83,6 +83,9 @@ func cmdTrain(args []string) error {
 	clusters := fs.Int("clusters", 200, "number of K-Means clusters (semisup)")
 	seed := fs.Int64("seed", 1, "training seed")
 	quick := fs.Bool("quick", false, "train on the reduced corpus")
+	cascade := fs.Bool("cascade", false, "distil a cheap-first cascade stage onto the artifact")
+	cascadeTarget := fs.Float64("cascade-target-agreement", 0.95, "agreement with the full model the cascade threshold must reach on held-out data")
+	cascadeModel := fs.String("cascade-model", "logreg", `cascade classifier: "logreg" or "forest"`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -122,6 +125,24 @@ func cmdTrain(args []string) error {
 	// The training distribution travels with the model so the registry
 	// can monitor served traffic for drift against it.
 	art.Baseline = serve.ComputeBaseline(x, y, sparse.NumKernelFormats)
+	if *cascade {
+		c, err := serve.TrainCascade(art, x, serve.CascadeOptions{
+			Model:           *cascadeModel,
+			TargetAgreement: *cascadeTarget,
+			Seed:            *seed,
+		})
+		if err != nil {
+			return fmt.Errorf("train: %w", err)
+		}
+		art.Cascade = c
+		if c.Threshold > 1 {
+			fmt.Fprintf(os.Stderr, "cascade: target agreement %.2f unattainable on %d held-out rows; stage disabled\n",
+				c.TargetAgreement, c.HeldoutSize)
+		} else {
+			fmt.Fprintf(os.Stderr, "cascade: threshold %.3f, held-out agreement %.3f (target %.2f), hit rate %.3f\n",
+				c.Threshold, c.HeldoutAgreement, c.TargetAgreement, c.HeldoutHitRate)
+		}
+	}
 	if err := serve.SaveFile(*save, art); err != nil {
 		return err
 	}

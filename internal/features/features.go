@@ -59,11 +59,56 @@ const (
 // feature (rows processed by one warp in the scalar CSR kernel).
 const warpSize = 32
 
+// CheapCount is the number of cheap features: the O(rows) subset that
+// needs neither the column indices (DIA pass) nor the row-length
+// histogram (HYB pass). These are the structural features the cascade's
+// first stage classifies on.
+const CheapCount = 8
+
+// CheapIndices lists the Vector indices of the cheap features, in the
+// order ExtractCheap emits them.
+var CheapIndices = [CheapCount]int{
+	NRows, NCols, NNZ, NNZFrac, NNZMu, NNZMin, NNZMax, NNZSig,
+}
+
+// CheapVector holds the cheap-feature values in CheapIndices order.
+type CheapVector [CheapCount]float64
+
+// Slice returns the cheap vector as a fresh []float64.
+func (v CheapVector) Slice() []float64 {
+	s := make([]float64, CheapCount)
+	copy(s, v[:])
+	return s
+}
+
+// CheapSlice gathers the cheap features out of a full feature row
+// (Vector order). Extraction clamps both paths identically, so for any
+// matrix CheapSlice(Extract(m).Slice()) == ExtractCheap(m).Slice().
+func CheapSlice(full []float64) []float64 {
+	out := make([]float64, CheapCount)
+	for i, idx := range CheapIndices {
+		if idx < len(full) {
+			out[i] = full[idx]
+		}
+	}
+	return out
+}
+
+// slab computes an a×b storage-size feature in float64. The operands are
+// matrix dimensions and widths, so an int product can silently overflow
+// negative on adversarial inputs (rows ~ 2^32 × width ~ 2^31); promoting
+// each factor first keeps the feature finite and positive.
+func slab(a, b int) float64 {
+	return float64(a) * float64(b)
+}
+
 // Extraction metrics, recorded when an obs sink is registered:
 // extractions performed, and the wall time per call.
 var (
 	extractCalls   = obs.Default.Counter("features/extractions")
 	extractSeconds = obs.Default.Histogram("features/extract/seconds", obs.DurationBuckets)
+	cheapCalls     = obs.Default.Counter("features/extractions_cheap")
+	cheapSeconds   = obs.Default.Histogram("features/extract_cheap/seconds", obs.DurationBuckets)
 )
 
 // Scratch holds the reusable working buffers of the feature pass: the
@@ -132,10 +177,17 @@ func (s *Scratch) Extract(m *sparse.CSR) Vector {
 	f[NRows] = float64(rows)
 	f[NCols] = float64(cols)
 	f[NNZ] = float64(nnz)
-	f[NNZFrac] = float64(nnz) / (float64(rows) * float64(cols))
+	if rows > 0 && cols > 0 {
+		f[NNZFrac] = float64(nnz) / (float64(rows) * float64(cols))
+	}
 
-	// Row statistics.
-	minRow, maxRow := math.MaxInt64, 0
+	// Row statistics. minRow starts at 0, not MaxInt64, when there are no
+	// rows to scan: every feature of a degenerate matrix must stay finite
+	// and zero-safe (they flow into drift windows and the scaler).
+	minRow, maxRow := 0, 0
+	if rows > 0 {
+		minRow = math.MaxInt64
+	}
 	rowLens := s.ints(rows)
 	maxWarp := 0 // csr_max: max total rows-worth of work in one warp, measured
 	// as the maximum row length within any aligned warp of rows: the scalar
@@ -161,7 +213,10 @@ func (s *Scratch) Extract(m *sparse.CSR) Vector {
 			maxWarp = w
 		}
 	}
-	mu := float64(nnz) / float64(rows)
+	var mu float64
+	if rows > 0 {
+		mu = float64(nnz) / float64(rows)
+	}
 	f[NNZMu] = mu
 	f[NNZMin] = float64(minRow)
 	f[NNZMax] = float64(maxRow)
@@ -183,7 +238,9 @@ func (s *Scratch) Extract(m *sparse.CSR) Vector {
 			nHigh++
 		}
 	}
-	f[NNZSig] = math.Sqrt(sq / float64(rows))
+	if rows > 0 {
+		f[NNZSig] = math.Sqrt(sq / float64(rows))
+	}
 	if nLow > 0 {
 		f[SigLower] = math.Sqrt(lowSq / float64(nLow))
 	}
@@ -192,7 +249,7 @@ func (s *Scratch) Extract(m *sparse.CSR) Vector {
 	}
 
 	// ELL structure.
-	f[EllSize] = float64(rows * maxRow)
+	f[EllSize] = slab(rows, maxRow)
 	if maxRow > 0 {
 		f[EllFrac] = float64(nnz) / f[EllSize]
 	}
@@ -211,14 +268,19 @@ func (s *Scratch) Extract(m *sparse.CSR) Vector {
 			ellPart += hybW
 		}
 	}
-	f[HybEllSize] = float64(rows * hybW)
+	f[HybEllSize] = slab(rows, hybW)
 	f[HybCoo] = float64(nnz - ellPart)
 	if f[HybEllSize] > 0 {
 		f[HybEllFrac] = float64(ellPart) / f[HybEllSize]
 	}
 
-	// DIA structure.
-	occ := s.zeroOcc(rows + cols - 1)
+	// DIA structure. A 0×0 matrix has no diagonals at all; clamp the
+	// occupancy size so the bitmap never goes negative.
+	nocc := rows + cols - 1
+	if nocc < 0 {
+		nocc = 0
+	}
+	occ := s.zeroOcc(nocc)
 	ndiag := 0
 	rowPtr, colIdx := m.RowPtr(), m.ColIdx()
 	for i := 0; i < rows; i++ {
@@ -231,11 +293,71 @@ func (s *Scratch) Extract(m *sparse.CSR) Vector {
 		}
 	}
 	f[Diagonals] = float64(ndiag)
-	f[DiaSize] = float64(ndiag * rows)
+	f[DiaSize] = slab(ndiag, rows)
 	if f[DiaSize] > 0 {
 		f[DiaFrac] = float64(nnz) / f[DiaSize]
 	}
 
+	return f
+}
+
+// ExtractCheap computes the cheap-feature subset for a matrix.
+func ExtractCheap(m *sparse.CSR) CheapVector {
+	var s Scratch
+	return s.ExtractCheap(m)
+}
+
+// ExtractCheap computes the cheap-feature subset: two O(rows) passes
+// over the row-pointer array, no histogram, no column-index walk, no
+// scratch allocations. The values are bit-identical to the matching
+// entries of a full Extract, including the degenerate-matrix clamps, so
+// a cascade stage trained on gathered full vectors sees exactly the
+// distribution this produces at serve time.
+func (s *Scratch) ExtractCheap(m *sparse.CSR) CheapVector {
+	start := obs.Now()
+	defer func() {
+		if !start.IsZero() {
+			cheapCalls.Inc()
+			cheapSeconds.Observe(time.Since(start).Seconds())
+		}
+	}()
+	var f CheapVector
+	rows, cols := m.Dims()
+	nnz := m.NNZ()
+	f[0] = float64(rows)
+	f[1] = float64(cols)
+	f[2] = float64(nnz)
+	if rows > 0 && cols > 0 {
+		f[3] = float64(nnz) / (float64(rows) * float64(cols))
+	}
+	minRow, maxRow := 0, 0
+	if rows > 0 {
+		minRow = math.MaxInt64
+	}
+	for i := 0; i < rows; i++ {
+		n := m.RowNNZ(i)
+		if n < minRow {
+			minRow = n
+		}
+		if n > maxRow {
+			maxRow = n
+		}
+	}
+	var mu float64
+	if rows > 0 {
+		mu = float64(nnz) / float64(rows)
+	}
+	f[4] = mu
+	f[5] = float64(minRow)
+	f[6] = float64(maxRow)
+	var sq float64
+	for i := 0; i < rows; i++ {
+		d := float64(m.RowNNZ(i)) - mu
+		sq += d * d
+	}
+	if rows > 0 {
+		f[7] = math.Sqrt(sq / float64(rows))
+	}
 	return f
 }
 

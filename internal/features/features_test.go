@@ -316,3 +316,148 @@ func BenchmarkExtractScratch(b *testing.B) {
 		}
 	})
 }
+
+// emptyCSR builds a rows x cols matrix with zero stored entries through
+// the validating constructor.
+func emptyCSR(t *testing.T, rows, cols int) *sparse.CSR {
+	t.Helper()
+	m, err := sparse.NewCSR(rows, cols, make([]int32, rows+1), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestExtractDegenerateMatrices checks that every feature of a
+// degenerate matrix — zero rows, zero columns, or zero stored entries —
+// is finite and zero-safe. Before the clamps, a 0-row matrix emitted
+// NaN for nnz_frac/nnz_mu/nnz_sig and MaxInt64 (9.2e18) for nnz_min,
+// and the DIA pass paniced sizing a negative occupancy bitmap; those
+// values flowed into drift windows and the scaler unguarded.
+func TestExtractDegenerateMatrices(t *testing.T) {
+	cases := []struct {
+		name    string
+		m       *sparse.CSR
+		allZero bool
+	}{
+		// The zero-value CSR is the "0 0 0" shape: no rows, no columns.
+		{"zero-value 0x0", &sparse.CSR{}, true},
+		{"empty 3x4", emptyCSR(t, 3, 4), false},
+		{"empty 1x1", emptyCSR(t, 1, 1), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := Extract(tc.m)
+			for i, v := range f {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					t.Errorf("%s = %v, want finite and non-negative", Names[i], v)
+				}
+				if tc.allZero && v != 0 {
+					t.Errorf("%s = %v, want 0 on a 0x0 matrix", Names[i], v)
+				}
+			}
+			// Every nnz-derived statistic is zero when there are no
+			// stored entries (nnz_min used to report MaxInt64 here).
+			for _, idx := range []int{NNZ, NNZFrac, NNZMu, NNZMin, NNZMax, NNZSig} {
+				if f[idx] != 0 {
+					t.Errorf("%s = %v, want 0 with nnz=0", Names[idx], f[idx])
+				}
+			}
+			c := ExtractCheap(tc.m)
+			for i, v := range c {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					t.Errorf("cheap[%d] = %v, want finite and non-negative", i, v)
+				}
+			}
+		})
+	}
+}
+
+// TestDegenerateMatrixMarketBody runs the smallest parseable 0-nnz
+// MatrixMarket body through the same parse+extract path the serve
+// handler uses.
+func TestDegenerateMatrixMarketBody(t *testing.T) {
+	body := "%%MatrixMarket matrix coordinate real general\n1 1 0\n"
+	m, err := sparse.ReadMatrixMarketBytes([]byte(body))
+	if err != nil {
+		t.Fatalf("0-nnz body rejected: %v", err)
+	}
+	f := Extract(m)
+	if f[NRows] != 1 || f[NCols] != 1 || f[NNZ] != 0 {
+		t.Fatalf("dims/nnz = %v/%v/%v", f[NRows], f[NCols], f[NNZ])
+	}
+	for i, v := range f {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Errorf("%s = %v, want finite and non-negative", Names[i], v)
+		}
+	}
+}
+
+// TestSlabAdversarialDimensions is the regression test for the int
+// overflow in the ELL/DIA/HYB size features: rows * width products like
+// (1<<32) * (1<<31) wrap negative in int64 but must come out as large
+// positive floats.
+func TestSlabAdversarialDimensions(t *testing.T) {
+	cases := []struct {
+		a, b int
+		want float64
+	}{
+		{0, 0, 0},
+		{5, 7, 35},
+		{1 << 32, 1 << 31, math.Ldexp(1, 63)}, // wraps to negative as int
+		{1 << 62, 1 << 62, math.Ldexp(1, 124)},
+		{math.MaxInt64, 2, 2 * float64(math.MaxInt64)},
+	}
+	for _, tc := range cases {
+		got := slab(tc.a, tc.b)
+		if got != tc.want {
+			t.Errorf("slab(%d, %d) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if got < 0 {
+			t.Errorf("slab(%d, %d) = %v, negative size feature", tc.a, tc.b, got)
+		}
+	}
+	// The wrapped int product really is negative — the thing the float64
+	// promotion exists to avoid.
+	a, b := 1<<32, 1<<31
+	if p := a * b; p >= 0 {
+		t.Skipf("int product unexpectedly non-negative (%d)", p)
+	}
+}
+
+// TestExtractCheapMatchesFull checks bit-identity between the cheap
+// pass and the matching entries of a full extraction across random
+// shapes — the property that lets a cascade stage train on gathered
+// full vectors and serve on ExtractCheap output.
+func TestExtractCheapMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var s Scratch
+	check := func(name string, m *sparse.CSR) {
+		t.Helper()
+		full := s.Extract(m).Slice()
+		cheap := s.ExtractCheap(m)
+		gathered := CheapSlice(full)
+		for i := range cheap {
+			if cheap[i] != gathered[i] {
+				t.Fatalf("%s: cheap[%d] (%s) = %v, full has %v",
+					name, i, Names[CheapIndices[i]], cheap[i], gathered[i])
+			}
+		}
+		if got := cheap.Slice(); len(got) != CheapCount {
+			t.Fatalf("CheapVector.Slice length %d", len(got))
+		}
+	}
+	check("degenerate", &sparse.CSR{})
+	check("empty", emptyCSR(t, 4, 9))
+	for trial := 0; trial < 50; trial++ {
+		rows := 1 + rng.Intn(150)
+		cols := 1 + rng.Intn(150)
+		tr := sparse.NewTriplet(rows, cols)
+		for n := 0; n < 1+rng.Intn(rows*4); n++ {
+			if err := tr.Add(rng.Intn(rows), rng.Intn(cols), 1+rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		check("random", tr.ToCSR())
+	}
+}

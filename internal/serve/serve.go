@@ -123,6 +123,9 @@ func (c Config) withDefaults() Config {
 //	serve/batch/items         counter    matrices received in batches
 //	serve/batch/item_errors   counter    batch items answered with a per-item error
 //	serve/shadow/errors       counter    shadow candidate predictions that failed
+//	serve/cascade/hits        counter    answers served by the cheap cascade stage
+//	serve/cascade/fallthroughs counter   cascade requests that paid the full path
+//	serve/cascade/confidence  histogram  cheap-stage top-class probability per computed answer
 //	serve/capture/records     counter    requests appended to the capture log
 //	serve/capture/errors      counter    capture appends that failed
 //	serve/feedback/accepted   counter    feedback reports joined to a prediction
@@ -168,6 +171,9 @@ type Server struct {
 	batchItems   *obs.Counter
 	batchErrors  *obs.Counter
 	shadowErrors *obs.Counter
+	cascadeHits  *obs.Counter
+	cascadeFalls *obs.Counter
+	cascadeConf  *obs.Histogram
 	adminReqs    *obs.Counter
 	adminDenied  *obs.Counter
 	inflight     *obs.Gauge
@@ -230,6 +236,9 @@ func NewBackendServer(b Backend, cfg Config) (*Server, error) {
 		batchItems:   obs.Default.Counter("serve/batch/items"),
 		batchErrors:  obs.Default.Counter("serve/batch/item_errors"),
 		shadowErrors: obs.Default.Counter("serve/shadow/errors"),
+		cascadeHits:  obs.Default.Counter("serve/cascade/hits"),
+		cascadeFalls: obs.Default.Counter("serve/cascade/fallthroughs"),
+		cascadeConf:  obs.Default.Histogram("serve/cascade/confidence", confidenceBuckets),
 		adminReqs:    obs.Default.Counter("serve/admin/requests"),
 		adminDenied:  obs.Default.Counter("serve/admin/unauthorized"),
 		inflight:     obs.Default.Gauge("serve/inflight"),
@@ -280,6 +289,14 @@ type modelResponse struct {
 	Hash       string   `json:"hash"`
 	Source     string   `json:"source,omitempty"`
 	ShadowHash string   `json:"shadow_hash,omitempty"`
+	// Cascade calibration, present when the artifact carries a
+	// cheap-first stage.
+	Cascade           bool    `json:"cascade,omitempty"`
+	CascadeClassifier string  `json:"cascade_classifier,omitempty"`
+	CascadeThreshold  float64 `json:"cascade_threshold,omitempty"`
+	CascadeAgreement  float64 `json:"cascade_heldout_agreement,omitempty"`
+	CascadeTarget     float64 `json:"cascade_target_agreement,omitempty"`
+	CascadeHitRate    float64 `json:"cascade_heldout_hit_rate,omitempty"`
 }
 
 // readyResponse is the /readyz body: readiness, process uptime and the
@@ -375,6 +392,14 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	}
 	if art.Kind == KindSemisup {
 		resp.Clusters = art.Semisup.NumClusters()
+	}
+	if c := art.Cascade; c != nil {
+		resp.Cascade = true
+		resp.CascadeClassifier = c.Classifier
+		resp.CascadeThreshold = c.Threshold
+		resp.CascadeAgreement = c.HeldoutAgreement
+		resp.CascadeTarget = c.TargetAgreement
+		resp.CascadeHitRate = c.HeldoutHitRate
 	}
 	if cand, ok := s.backend.Shadow(lm.Arch); ok {
 		resp.ShadowHash = cand.Hash
@@ -510,19 +535,68 @@ func (s *Server) predictBody(lm LiveModel, cand LiveModel, shadowed bool, scratc
 	if err != nil {
 		return answered{}, badRequest("parsing MatrixMarket body: %v", err)
 	}
-	vec := scratch.Extract(m).Slice()
-	pred, err := lm.Artifact.Predict(vec)
+	// Cheap-first: a cascade artifact answers from the O(rows) features
+	// when confident and only pays full extraction on fall-through, so
+	// vec is nil for cheap answers.
+	pred, vec, err := lm.Artifact.PredictMatrixScratch(m, scratch)
 	if err != nil {
 		return answered{}, badRequest("%v", err)
 	}
+	s.noteCascade(lm.Artifact, pred)
 	ans := answered{pred: pred}
 	if shadowed {
+		// The candidate scores on the full feature vector regardless of
+		// which stage answered, so shadow agreement still compares whole
+		// models (shadowing temporarily forfeits the cascade's win).
+		if vec == nil {
+			vec = scratch.Extract(m).Slice()
+		}
 		ans.cand, ans.candOK = s.scoreShadow(lm.Arch, cand, pred, vec)
 	} else {
 		s.cache.Put(key, pred)
 	}
+	// Cheap answers never computed the 21-feature vector; like a cache
+	// hit, the drift monitor then advances only its label stream.
 	s.recordPrediction(lm.Arch, pred, vec)
 	return ans, nil
+}
+
+// Cascade confidences are probabilities; bucket the interesting top end
+// where thresholds live.
+var confidenceBuckets = []float64{0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1}
+
+// noteCascade tallies which stage answered. Only computed answers from
+// a cascade-carrying artifact count: cache hits never ran either stage.
+func (s *Server) noteCascade(art *Artifact, pred Prediction) {
+	if art.Cascade == nil {
+		return
+	}
+	if pred.Stage == StageCheap {
+		s.cascadeHits.Inc()
+	} else {
+		s.cascadeFalls.Inc()
+	}
+	s.cascadeConf.Observe(pred.Confidence)
+}
+
+// CascadeStats reports the server's cascade tallies since start:
+// cheap-stage answers, full-path fall-throughs, and the hit rate over
+// computed predictions. Surfaced in /v1/admin/quality.
+type CascadeStats struct {
+	Hits         int64   `json:"hits"`
+	Fallthroughs int64   `json:"fallthroughs"`
+	HitRate      float64 `json:"hit_rate"`
+}
+
+func (s *Server) cascadeStats() CascadeStats {
+	st := CascadeStats{
+		Hits:         s.cascadeHits.Value(),
+		Fallthroughs: s.cascadeFalls.Value(),
+	}
+	if n := st.Hits + st.Fallthroughs; n > 0 {
+		st.HitRate = float64(st.Hits) / float64(n)
+	}
+	return st
 }
 
 // recordPrediction tallies one served answer: the per-arch/format
@@ -624,6 +698,7 @@ func (s *Server) predictFeatures(ctx context.Context, r *http.Request) (any, err
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
+	s.noteCascade(lm.Artifact, pred)
 	var candPred Prediction
 	var candOK bool
 	if shadowed {
