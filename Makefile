@@ -21,8 +21,16 @@ bench-parallel:
 # 2x on hosts with >= 4 CPUs), plus the cascade-on/off columns — the
 # cheap-first stage's hit rate, mix agreement, calibrated threshold,
 # and p50 on above-threshold traffic (agreement gate always enforced;
-# the 2x latency gate only on hosts with >= 4 CPUs).
+# the 2x latency gate only on hosts with >= 4 CPUs) — and the
+# feature-memo on/off columns (repeat-body p50 and hit rate).
 bench-serve:
 	go run ./cmd/spmvselect benchserve -out BENCH_serve.json
 
-.PHONY: check bench-obs bench-parallel bench-serve
+# bench-parse regenerates BENCH_parse.json: the streaming MatrixMarket
+# reader vs the byte-slice fast path over the same bodies, hard-failing
+# on any bitwise CSR difference and gated at 3x speedup and <= 10% of
+# the streaming reader's allocations.
+bench-parse:
+	go run ./cmd/spmvselect benchparse -out BENCH_parse.json
+
+.PHONY: check bench-obs bench-parallel bench-serve bench-parse

@@ -3,9 +3,14 @@
 #
 # Usage: ./ci.sh [bench]
 #
-#   (no argument)  vet + build + race-enabled tests + the obs
-#                  disabled-path overhead benchmark + four end-to-end
-#                  serving smoke tests (single-model with telemetry:
+#   (no argument)  vet + build + race-enabled tests + the race-free
+#                  allocation guards (pooled parse scratch, feature-memo
+#                  hits) + the obs disabled-path overhead benchmark + a
+#                  benchparse differential smoke (the byte-slice
+#                  MatrixMarket fast path must parse every exported
+#                  matrix bit-identically to the streaming reader) +
+#                  four end-to-end serving smoke tests (single-model
+#                  with telemetry:
 #                  access-log trace IDs, the Prometheus /metrics
 #                  exposition and `monitor -once`; the full registry:
 #                  multi-arch routing, batch, authenticated reload,
@@ -16,8 +21,9 @@
 #                  populated /v1/admin/quality window; and the
 #                  cheap-first cascade: a `train -cascade` artifact
 #                  served with stage metrics on /metrics, cascade
-#                  stats in /v1/admin/quality, and a capture replayed
-#                  with zero mismatches)
+#                  stats in /v1/admin/quality, feature-memo hit/miss
+#                  counters matching the request mix, and a capture
+#                  replayed with zero mismatches)
 #   bench          additionally regenerate BENCH_obs.json from an
 #                  instrumented paper-scale `table -n 9` run (minutes),
 #                  BENCH_parallel.json from `spmvselect benchpar`,
@@ -25,11 +31,16 @@
 #                  differs from sequential or its speedup falls below
 #                  the machine-aware gate (3x with >= 8 CPUs; on
 #                  smaller hosts it only rejects pathological slowdown),
+#                  BENCH_parse.json from `spmvselect benchparse`
+#                  (streaming vs byte-slice MatrixMarket ingest;
+#                  fails below 3x or above 10% of the streaming
+#                  reader's allocations, and on any CSR difference),
 #                  BENCH_serve.json from `spmvselect benchserve`
 #                  (batched vs single-request serving plus the
-#                  cascade-on/off comparison: calibrated agreement is
-#                  always enforced, the cheap-path p50 win only on
-#                  hosts with enough cores),
+#                  cascade-on/off and feature-memo on/off
+#                  comparisons: calibrated agreement is always
+#                  enforced, the p50 wins only on hosts with
+#                  enough cores),
 #                  and BENCH_replay.json from `spmvselect benchreplay`
 #                  (record/feedback/replay cycle; hard-fails when a
 #                  replayed prediction differs from the recording)
@@ -45,6 +56,9 @@ go build ./...
 echo '== go test -race ./...'
 go test -race ./...
 
+echo '== allocation guards (AllocsPerRun needs a race-free binary)'
+go test -run Allocs -count=1 ./internal/sparse ./internal/serve
+
 echo '== obs disabled-path overhead (budget: < 2 ns/op, see internal/obs)'
 go test -run - -bench BenchmarkObsOverhead -benchtime 100x . ./internal/obs
 
@@ -56,6 +70,12 @@ go build -o "$SMOKE/spmvselect" ./cmd/spmvselect
 "$SMOKE/spmvselect" train -save "$SMOKE/model.gob" -quick -clusters 16 >/dev/null
 "$SMOKE/spmvselect" export -dir "$SMOKE/mtx" -count 2 -seed 4 >/dev/null
 MTX=$(ls "$SMOKE"/mtx/*.mtx | head -n 1)
+# The ingest fast path must produce bit-identical CSRs to the streaming
+# reader on every exported matrix (benchparse hard-fails on the first
+# difference; the perf gates are off here — the bench section measures).
+"$SMOKE/spmvselect" benchparse -dir "$SMOKE/mtx" -rounds 1 \
+	-min-speedup 0 -max-alloc-frac 1 -out "$SMOKE/bench_parse_smoke.json" >/dev/null \
+	|| { echo 'ci: fast-path parse diverged from the streaming reader'; exit 1; }
 "$SMOKE/spmvselect" serve -model "$SMOKE/model.gob" -addr 127.0.0.1:0 -portfile "$SMOKE/port" \
 	-admin-token "$ADMIN_TOKEN" -access-log "$SMOKE/access.log" &
 SERVE_PID=$!
@@ -230,6 +250,15 @@ echo "$METRICS" | grep -q '^spmvselect_serve_cascade_fallthroughs_total' \
 	|| { echo 'ci: /metrics lacks the cascade fallthrough counter'; exit 1; }
 echo "$METRICS" | grep -q 'spmvselect_serve_cascade_confidence' \
 	|| { echo 'ci: /metrics lacks the cascade confidence histogram'; exit 1; }
+# The feature memo fronted those 3 requests: MTX, MTX2, MTX is two
+# distinct bodies, so exactly one repeat hit, two misses, and two
+# resident entries.
+MHITS=$(echo "$METRICS" | sed -n 's/^spmvselect_serve_featmemo_hits_total \([0-9]*\)$/\1/p')
+MMISSES=$(echo "$METRICS" | sed -n 's/^spmvselect_serve_featmemo_misses_total \([0-9]*\)$/\1/p')
+[ "$MHITS" = 1 ] || { echo "ci: featmemo hits = $MHITS after one repeat body, want 1"; exit 1; }
+[ "$MMISSES" = 2 ] || { echo "ci: featmemo misses = $MMISSES over two distinct bodies, want 2"; exit 1; }
+echo "$METRICS" | grep -q '^spmvselect_serve_featmemo_entries 2$' \
+	|| { echo 'ci: featmemo entries gauge does not show 2 resident bodies'; exit 1; }
 # The stage tallies (hits + fallthroughs) must cover the 3 computed
 # predictions, and the quality report must carry the hit rate.
 HITS=$(echo "$METRICS" | sed -n 's/^spmvselect_serve_cascade_hits_total \([0-9]*\)$/\1/p')
@@ -251,6 +280,8 @@ if [ "${1:-}" = bench ]; then
 	go run ./cmd/spmvselect report -in BENCH_obs.json -text
 	echo '== regenerating BENCH_parallel.json (sequential vs parallel tables, quick scale)'
 	go run ./cmd/spmvselect benchpar -workers 8 -out BENCH_parallel.json
+	echo '== regenerating BENCH_parse.json (streaming vs byte-slice MatrixMarket ingest)'
+	go run ./cmd/spmvselect benchparse -out BENCH_parse.json
 	echo '== regenerating BENCH_serve.json (single-request vs batched serving throughput)'
 	go run ./cmd/spmvselect benchserve -out BENCH_serve.json
 	echo '== regenerating BENCH_replay.json (record/feedback/replay quality loop)'

@@ -1,0 +1,271 @@
+package main
+
+// benchparse measures MatrixMarket ingest: the streaming reader
+// (ReadMatrixMarket over an io.Reader) against the byte-slice fast path
+// (ReadMatrixMarketBytesScratch with one pooled scratch), over the same
+// bodies. Before any timing it parses every body through both readers
+// and hard-fails on the first bitwise CSR difference — the fast path's
+// whole contract is byte-identical output — then reports best-of-rounds
+// wall time, throughput, and a Mallocs-delta allocation ratio. The
+// result is committed as BENCH_parse.json and gated so CI catches the
+// fast path losing its speedup or its allocation discipline.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+)
+
+// parseBench is the committed record of one benchparse run.
+type parseBench struct {
+	CPUs       int   `json:"cpus"`
+	Matrices   int   `json:"matrices"`
+	Rounds     int   `json:"rounds"`
+	TotalBytes int64 `json:"total_bytes"`
+	// Best-of-rounds wall time for one full pass over the body set.
+	StreamSeconds float64 `json:"stream_seconds"`
+	BytesSeconds  float64 `json:"bytes_seconds"`
+	// Per-matrix averages and aggregate throughput for each reader.
+	StreamNsPerMatrix float64 `json:"stream_ns_per_matrix"`
+	BytesNsPerMatrix  float64 `json:"bytes_ns_per_matrix"`
+	StreamMBPerSec    float64 `json:"stream_mb_per_sec"`
+	BytesMBPerSec     float64 `json:"bytes_mb_per_sec"`
+	// Speedup = stream time / fast-path time over identical bodies.
+	Speedup float64 `json:"speedup"`
+	// Heap allocations per matrix (runtime Mallocs delta over one pass)
+	// and their ratio fast/stream.
+	StreamAllocsPerMatrix float64 `json:"stream_allocs_per_matrix"`
+	BytesAllocsPerMatrix  float64 `json:"bytes_allocs_per_matrix"`
+	AllocFrac             float64 `json:"alloc_frac"`
+	// Identical records that every body produced a bitwise-equal CSR
+	// through both readers (the run fails before writing otherwise).
+	Identical bool `json:"identical_output"`
+}
+
+// csrBitIdentical compares two parses of the same body the way the
+// differential tests do: dimensions, index arrays, and value bits
+// (math.Float64bits, so -0 vs 0 or differing NaN payloads count as a
+// difference a float compare would hide).
+func csrBitIdentical(a, b *sparse.CSR) bool {
+	ar, ac := a.Dims()
+	br, bc := b.Dims()
+	if ar != br || ac != bc {
+		return false
+	}
+	ap, bp := a.RowPtr(), b.RowPtr()
+	if len(ap) != len(bp) {
+		return false
+	}
+	for i := range ap {
+		if ap[i] != bp[i] {
+			return false
+		}
+	}
+	ai, bi := a.ColIdx(), b.ColIdx()
+	if len(ai) != len(bi) {
+		return false
+	}
+	for i := range ai {
+		if ai[i] != bi[i] {
+			return false
+		}
+	}
+	av, bv := a.Values(), b.Values()
+	if len(av) != len(bv) {
+		return false
+	}
+	for i := range av {
+		if math.Float64bits(av[i]) != math.Float64bits(bv[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// benchparseBodies assembles the byte bodies to parse: every .mtx file
+// under dir when set, otherwise -matrices generated matrices serialised
+// through WriteMatrixMarket (a seed off the training corpus).
+func benchparseBodies(dir string, count int) (bodies [][]byte, names []string, err error) {
+	if dir != "" {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".mtx") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				return nil, nil, err
+			}
+			bodies = append(bodies, data)
+			names = append(names, e.Name())
+		}
+		if len(bodies) == 0 {
+			return nil, nil, fmt.Errorf("no .mtx files in %s", dir)
+		}
+		return bodies, names, nil
+	}
+	items, err := dataset.Generate(dataset.Config{
+		Seed: 42, BaseCount: count, Scale: 0.5, DropELLFailures: true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, it := range items {
+		var buf bytes.Buffer
+		if err := sparse.WriteMatrixMarket(&buf, it.Matrix); err != nil {
+			return nil, nil, err
+		}
+		bodies = append(bodies, buf.Bytes())
+		names = append(names, it.Name)
+	}
+	return bodies, names, nil
+}
+
+// allocsPerPass runs one full parse pass under a quiesced heap and
+// returns the Mallocs delta per matrix. GC runs first so the collector
+// does not retire spans mid-measurement.
+func allocsPerPass(n int, pass func()) float64 {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	pass()
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(n)
+}
+
+func cmdBenchParse(args []string) error {
+	fs := flag.NewFlagSet("benchparse", flag.ExitOnError)
+	count := fs.Int("matrices", 24, "number of generated matrices to parse (ignored with -dir)")
+	rounds := fs.Int("rounds", 5, "timed passes per reader (best round counts)")
+	dir := fs.String("dir", "", "parse every .mtx file in this directory instead of generating bodies")
+	out := fs.String("out", "BENCH_parse.json", "output JSON path")
+	minSpeedup := fs.Float64("min-speedup", 3.0,
+		"fail below this stream/fast-path time ratio (0 disables the gate)")
+	maxAllocFrac := fs.Float64("max-alloc-frac", 0.10,
+		"fail when the fast path allocates more than this fraction of the streaming reader's allocations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *rounds < 1 {
+		return fmt.Errorf("benchparse: -rounds %d: need >= 1", *rounds)
+	}
+
+	bodies, names, err := benchparseBodies(*dir, *count)
+	if err != nil {
+		return fmt.Errorf("benchparse: %w", err)
+	}
+	var totalBytes int64
+	for _, b := range bodies {
+		totalBytes += int64(len(b))
+	}
+	fmt.Fprintf(os.Stderr, "benchparse: %d matrices, %.1f MB total\n",
+		len(bodies), float64(totalBytes)/1e6)
+
+	// Correctness before speed: every body through both readers, and any
+	// bitwise CSR difference is an immediate failure — a fast parse that
+	// is fast because it is wrong must never produce a bench artifact.
+	ps := sparse.GetParseScratch()
+	defer sparse.PutParseScratch(ps)
+	for i, body := range bodies {
+		sm, serr := sparse.ReadMatrixMarket(bytes.NewReader(body))
+		fm, ferr := sparse.ReadMatrixMarketBytesScratch(body, ps)
+		if (serr == nil) != (ferr == nil) {
+			return fmt.Errorf("benchparse: %s: reader verdicts disagree: stream err=%v, fast err=%v",
+				names[i], serr, ferr)
+		}
+		if serr != nil {
+			return fmt.Errorf("benchparse: %s: unreadable body: %w", names[i], serr)
+		}
+		if !csrBitIdentical(sm, fm) {
+			return fmt.Errorf("benchparse: %s: fast path produced a different CSR than the streaming reader", names[i])
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchparse: all %d parses bit-identical across both readers\n", len(bodies))
+
+	streamPass := func() {
+		for _, body := range bodies {
+			if _, err := sparse.ReadMatrixMarket(bytes.NewReader(body)); err != nil {
+				panic(err) // verified readable above
+			}
+		}
+	}
+	bytesPass := func() {
+		for _, body := range bodies {
+			if _, err := sparse.ReadMatrixMarketBytesScratch(body, ps); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	// Best-of-rounds: scheduler noise and GC pauses only ever add time.
+	timePasses := func(pass func()) time.Duration {
+		var best time.Duration
+		for r := 0; r < *rounds; r++ {
+			start := time.Now()
+			pass()
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	fmt.Fprintf(os.Stderr, "benchparse: timing %d rounds per reader...\n", *rounds)
+	streamDur := timePasses(streamPass)
+	bytesDur := timePasses(bytesPass)
+	streamAllocs := allocsPerPass(len(bodies), streamPass)
+	bytesAllocs := allocsPerPass(len(bodies), bytesPass)
+
+	n := float64(len(bodies))
+	res := parseBench{
+		CPUs:                  runtime.NumCPU(),
+		Matrices:              len(bodies),
+		Rounds:                *rounds,
+		TotalBytes:            totalBytes,
+		StreamSeconds:         streamDur.Seconds(),
+		BytesSeconds:          bytesDur.Seconds(),
+		StreamNsPerMatrix:     float64(streamDur.Nanoseconds()) / n,
+		BytesNsPerMatrix:      float64(bytesDur.Nanoseconds()) / n,
+		StreamMBPerSec:        float64(totalBytes) / 1e6 / streamDur.Seconds(),
+		BytesMBPerSec:         float64(totalBytes) / 1e6 / bytesDur.Seconds(),
+		Speedup:               streamDur.Seconds() / bytesDur.Seconds(),
+		StreamAllocsPerMatrix: streamAllocs,
+		BytesAllocsPerMatrix:  bytesAllocs,
+		Identical:             true,
+	}
+	if streamAllocs > 0 {
+		res.AllocFrac = bytesAllocs / streamAllocs
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchparse: stream %.0f ns/matrix (%.0f MB/s, %.0f allocs) vs fast %.0f ns/matrix (%.0f MB/s, %.1f allocs): %.2fx, %.1f%% of allocations -> %s\n",
+		res.StreamNsPerMatrix, res.StreamMBPerSec, res.StreamAllocsPerMatrix,
+		res.BytesNsPerMatrix, res.BytesMBPerSec, res.BytesAllocsPerMatrix,
+		res.Speedup, 100*res.AllocFrac, *out)
+
+	if *minSpeedup > 0 && res.Speedup < *minSpeedup {
+		return fmt.Errorf("benchparse: fast-path speedup %.2fx below the %.2fx gate", res.Speedup, *minSpeedup)
+	}
+	if res.AllocFrac > *maxAllocFrac {
+		return fmt.Errorf("benchparse: fast path allocates %.1f%% of the streaming reader's allocations; gate is %.0f%%",
+			100*res.AllocFrac, 100**maxAllocFrac)
+	}
+	return nil
+}

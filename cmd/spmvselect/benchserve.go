@@ -6,11 +6,12 @@ package main
 // per-request overhead (connection handling, routing, body copies) is
 // part of what batching has to amortise — plus a cascade-on vs
 // cascade-off single-predict comparison of the same model with and
-// without the cheap-first stage. The result is committed as
-// BENCH_serve.json and gated so CI catches the batch path regressing
-// below plain sequential serving, the cascade threshold missing its
-// calibrated agreement target, or the cheap path losing its latency
-// advantage on above-threshold traffic.
+// without the cheap-first stage, and a feature-memo on/off comparison
+// on repeat bodies. The result is committed as BENCH_serve.json and
+// gated so CI catches the batch path regressing below plain sequential
+// serving, the cascade threshold missing its calibrated agreement
+// target, the cheap path losing its latency advantage on
+// above-threshold traffic, or the memo losing its repeat-body win.
 
 import (
 	"bytes"
@@ -101,6 +102,15 @@ type serveBench struct {
 	CascadeP50OffMs      float64 `json:"cascade_p50_off_ms"`
 	CascadeP50OnMs       float64 `json:"cascade_p50_on_ms"`
 	CascadeSpeedupAboveT float64 `json:"cascade_speedup_above_threshold"`
+	// Feature-memo on vs off: the same model and mix with the
+	// body-hash→features memo enabled, every timed request a repeat
+	// body (the off column is the memo-disabled baseline above).
+	MemoP50OffMs float64 `json:"memo_p50_off_ms"`
+	MemoP50OnMs  float64 `json:"memo_p50_on_ms"`
+	MemoSpeedup  float64 `json:"memo_speedup"`
+	// MemoHitRate is hits/(hits+misses) over the memo pass; warmup
+	// misses once per body, every timed round hits.
+	MemoHitRate float64 `json:"memo_hit_rate"`
 }
 
 func cmdBenchServe(args []string) error {
@@ -116,6 +126,8 @@ func cmdBenchServe(args []string) error {
 		"agreement target the cascade threshold is calibrated to")
 	cascadeMinSpeedup := fs.Float64("cascade-min-speedup", 0,
 		"fail below this cascade-on/off p50 ratio on above-threshold traffic; 0 picks 2.0 when the host has >= 4 CPUs and 0.80 otherwise")
+	memoMinSpeedup := fs.Float64("memo-min-speedup", 0,
+		"fail below this memo-on/off p50 ratio on repeat bodies; 0 picks 1.2 when the host has >= 4 CPUs and 0.80 otherwise")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -162,8 +174,9 @@ func cmdBenchServe(args []string) error {
 		batchBodies = append(batchBodies, bytes.Join(bodies[lo:hi], nil))
 	}
 
-	// Cache disabled: round two onward must recompute, not replay the LRU.
-	srv, err := serve.NewServer(art, serve.Config{CacheSize: -1, MaxBatchItems: *count})
+	// Cache and feature memo disabled: round two onward must recompute —
+	// parse, extract, infer — not replay either cache.
+	srv, err := serve.NewServer(art, serve.Config{CacheSize: -1, FeatMemoSize: -1, MaxBatchItems: *count})
 	if err != nil {
 		return err
 	}
@@ -276,7 +289,7 @@ func cmdBenchServe(args []string) error {
 	}
 	cart := *art
 	cart.Cascade = casc
-	csrv, err := serve.NewServer(&cart, serve.Config{CacheSize: -1, MaxBatchItems: *count})
+	csrv, err := serve.NewServer(&cart, serve.Config{CacheSize: -1, FeatMemoSize: -1, MaxBatchItems: *count})
 	if err != nil {
 		return err
 	}
@@ -347,6 +360,39 @@ func cmdBenchServe(args []string) error {
 	if err != nil {
 		return fmt.Errorf("benchserve: cascade-on pass: %w", err)
 	}
+
+	// Feature-memo comparison: the same artifact with the body-hash
+	// memo enabled, on its own listener. measure's warmup pass populates
+	// the memo (one miss per body), so every timed request afterwards is
+	// a repeat — exactly the traffic the memo fronts.
+	msrv, err := serve.NewServer(art, serve.Config{CacheSize: -1, MaxBatchItems: *count})
+	if err != nil {
+		return err
+	}
+	mln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	mserver := &http.Server{Handler: msrv.Handler()}
+	go mserver.Serve(mln)
+	defer mserver.Close()
+	mhits0, mmisses0 := msrv.FeatMemoStats()
+	fmt.Fprintln(os.Stderr, "benchserve: memo-on pass...")
+	memoLat, memoFmt, _, err := measure("http://" + mln.Addr().String())
+	if err != nil {
+		return fmt.Errorf("benchserve: memo-on pass: %w", err)
+	}
+	mhits, mmisses := msrv.FeatMemoStats()
+	mhits, mmisses = mhits-mhits0, mmisses-mmisses0
+	// Memoized features must be invisible in the answers: any format
+	// differing from the computed baseline means the memo served wrong
+	// or stale features, and no measurement excuses that.
+	for i := range bodies {
+		if memoFmt[i] != offFmt[i] {
+			return fmt.Errorf("benchserve: body %d: memo-on server answered %q, memo-off %q — memoized features changed a prediction",
+				i, memoFmt[i], offFmt[i])
+		}
+	}
 	var aboveOn, aboveOff []time.Duration
 	var cascadeSum time.Duration
 	agree, hits := 0, 0
@@ -392,6 +438,14 @@ func cmdBenchServe(args []string) error {
 		if res.CascadeP50OnMs > 0 {
 			res.CascadeSpeedupAboveT = res.CascadeP50OffMs / res.CascadeP50OnMs
 		}
+	}
+	res.MemoP50OffMs = quantiles(offLat).P50Ms
+	res.MemoP50OnMs = quantiles(memoLat).P50Ms
+	if res.MemoP50OnMs > 0 {
+		res.MemoSpeedup = res.MemoP50OffMs / res.MemoP50OnMs
+	}
+	if mhits+mmisses > 0 {
+		res.MemoHitRate = float64(mhits) / float64(mhits+mmisses)
 	}
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -450,6 +504,29 @@ func cmdBenchServe(args []string) error {
 	if res.CascadeSpeedupAboveT < cgate {
 		return fmt.Errorf("benchserve: cascade p50 speedup %.2fx below the %.2fx gate on above-threshold traffic",
 			res.CascadeSpeedupAboveT, cgate)
+	}
+
+	fmt.Printf("benchserve: feature memo hit rate %.2f, p50 %.2fms off vs %.2fms on repeat bodies (%.2fx)\n",
+		res.MemoHitRate, res.MemoP50OffMs, res.MemoP50OnMs, res.MemoSpeedup)
+	if mhits == 0 {
+		return fmt.Errorf("benchserve: feature memo never hit across %d repeat requests", *rounds**count)
+	}
+	mgate := *memoMinSpeedup
+	if mgate == 0 {
+		if res.CPUs >= 4 {
+			// A memo hit skips MatrixMarket parsing and feature
+			// extraction; even with HTTP overhead in both columns the
+			// repeat-body p50 should drop noticeably.
+			mgate = 1.2
+		} else {
+			// On a starved host per-request overhead dominates; only
+			// guard against the memo path being pathologically slower.
+			mgate = 0.80
+		}
+	}
+	if res.MemoSpeedup < mgate {
+		return fmt.Errorf("benchserve: memo p50 speedup %.2fx below the %.2fx gate on repeat bodies",
+			res.MemoSpeedup, mgate)
 	}
 	return nil
 }

@@ -29,6 +29,10 @@
 //	                                      replayed predictions vs the recording
 //	spmvselect benchserve                 measure single-request vs batched
 //	                                      serving throughput (BENCH_serve.json)
+//	spmvselect benchparse                 measure the streaming MatrixMarket
+//	                                      reader vs the byte-slice fast path,
+//	                                      gating on bit-identical output
+//	                                      (BENCH_parse.json)
 //	spmvselect benchreplay                record, feedback and replay a known
 //	                                      request mix, gating on reproduced
 //	                                      predictions (BENCH_replay.json)
@@ -95,6 +99,8 @@ func main() {
 		err = cmdMonitor(os.Args[2:])
 	case "benchserve":
 		err = cmdBenchServe(os.Args[2:])
+	case "benchparse":
+		err = cmdBenchParse(os.Args[2:])
 	case "replay":
 		err = cmdReplay(os.Args[2:])
 	case "benchreplay":
@@ -126,13 +132,14 @@ func usage() {
              [-cascade [-cascade-target-agreement X] [-cascade-model logreg|forest]]
   spmvselect serve (-model FILE | -models arch=path,...) [-shadow arch=path,...] [-default-arch A]
              [-admin-token T] [-addr :8080] [-portfile PATH] [-max-concurrent N] [-max-batch N]
-             [-cache N] [-timeout D] [-obs ADDR] [-access-log PATH] [-access-log-sample N]
+             [-cache N] [-feat-memo N] [-timeout D] [-obs ADDR] [-access-log PATH] [-access-log-sample N]
              [-slo-target X] [-record DIR] [-record-max-mb N]
   spmvselect request -addr HOST:PORT (-mtx FILE | -batch "f1,f2,..." | -features "v1,v2,..." | -get PATH | -post PATH [-json BODY]) [-arch A] [-token T] [-request-id ID]
   spmvselect promote -addr HOST:PORT -token T [-arch A]
   spmvselect monitor -addr HOST:PORT [-token T] [-interval D] [-once]
   spmvselect replay -dir DIR -addr HOST:PORT [-concurrency N] [-rate R] [-arch-skew "a=w,..."] [-out PATH]
   spmvselect benchserve [-matrices N] [-batch N] [-rounds N] [-out PATH] [-min-speedup X]
+  spmvselect benchparse [-matrices N | -dir DIR] [-rounds N] [-out PATH] [-min-speedup X] [-max-alloc-frac X]
   spmvselect benchreplay [-singles N] [-batches N] [-batch-size N] [-concurrency N] [-out PATH] [-min-speedup X]
   spmvselect cpubench -dir DIR [-trials N] [-clusters K] [-quick] [-obs ADDR] [-report PATH]
   spmvselect report [-in PATH] [-text]`)

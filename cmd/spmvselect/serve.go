@@ -187,6 +187,7 @@ func cmdServe(args []string) error {
 	maxConc := fs.Int("max-concurrent", 0, "bound on in-flight predictions (0 = one per CPU)")
 	maxBatch := fs.Int("max-batch", 0, "max matrices per /v1/predict/batch request (0 = 64)")
 	cacheSize := fs.Int("cache", 512, "prediction LRU capacity in entries (negative disables)")
+	featMemo := fs.Int("feat-memo", 0, "feature-vector memo capacity in entries (0 = 4096, negative disables); survives model swaps, unlike -cache")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout, queueing included")
 	obsAddr := fs.String("obs", "", "serve expvar+pprof (with the serve/* metrics) on this address too")
 	accessLog := fs.String("access-log", "", `write one JSON access-log line per request here ("-" for stderr)`)
@@ -266,6 +267,7 @@ func cmdServe(args []string) error {
 	srv, err := serve.NewBackendServer(reg, serve.Config{
 		MaxConcurrent:   *maxConc,
 		CacheSize:       *cacheSize,
+		FeatMemoSize:    *featMemo,
 		Timeout:         *timeout,
 		MaxBatchItems:   *maxBatch,
 		AdminToken:      *adminToken,

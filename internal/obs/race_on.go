@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// RaceEnabled reports whether the binary was built with -race. Tests
+// use it to skip allocation-count assertions, which the race runtime
+// inflates with its own bookkeeping allocations.
+const RaceEnabled = true

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/features"
 	"repro/internal/obs"
+	"repro/internal/sparse"
 )
 
 // The batch prediction endpoint: one request carrying many MatrixMarket
@@ -83,14 +84,14 @@ type batchResponse struct {
 // predictBatchItem answers one batch position: the shared predictBody
 // path plus the per-item feedback registration (batch item i of
 // request ID reports as "ID#i").
-func (s *Server) predictBatchItem(ctx context.Context, lm, cand LiveModel, shadowed bool, scratch *features.Scratch, item []byte, i int) batchItem {
+func (s *Server) predictBatchItem(ctx context.Context, lm, cand LiveModel, shadowed bool, scratch *features.Scratch, ps *sparse.ParseScratch, item []byte, i int) batchItem {
 	if err := ctx.Err(); err != nil {
 		return batchItem{Error: "request cancelled: " + err.Error()}
 	}
 	if len(item) == 0 {
 		return batchItem{Error: "empty matrix body"}
 	}
-	ans, err := s.predictBody(lm, cand, shadowed, scratch, item)
+	ans, err := s.predictBody(lm, cand, shadowed, scratch, ps, item)
 	if err != nil {
 		return batchItem{Error: err.Error()}
 	}
@@ -148,16 +149,19 @@ func (s *Server) predictBatch(ctx context.Context, r *http.Request) (any, error)
 	results := make([]batchItem, n)
 	var itemErrs atomic.Int64
 	obs.ParallelChunks(n, obs.Workers(n), func(w, lo, hi int) {
-		// One feature-extraction scratch per worker: a batch performs a
-		// handful of buffer allocations instead of three per matrix.
+		// One feature-extraction scratch and one pooled parse scratch
+		// per worker: a batch performs a handful of buffer allocations
+		// instead of several per matrix.
 		var scratch features.Scratch
+		ps := sparse.GetParseScratch()
+		defer sparse.PutParseScratch(ps)
 		for i := lo; i < hi; i++ {
 			// Each item gets its own span; ctx carries the request's
 			// trace ID, so every item in the fan-out is attributable to
 			// the parent X-Request-ID.
 			_, span := obs.Start(ctx, "serve/batch/item")
 			span.SetMetric("index", float64(i))
-			results[i] = s.predictBatchItem(ctx, lm, cand, shadowed, &scratch, items[i], i)
+			results[i] = s.predictBatchItem(ctx, lm, cand, shadowed, &scratch, ps, items[i], i)
 			if results[i].Error != "" {
 				itemErrs.Add(1)
 			}

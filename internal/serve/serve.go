@@ -31,6 +31,13 @@ type Config struct {
 	// CacheSize is the content-hash LRU capacity in entries (default
 	// 512; negative disables caching).
 	CacheSize int
+	// FeatMemoSize is the feature-vector memo capacity in entries
+	// (default 4096; negative disables). The memo fronts MatrixMarket
+	// parsing and feature extraction: it is keyed by body content alone
+	// and — feature vectors being model-independent — survives
+	// hot-swaps, promotions and arch routing, unlike the prediction
+	// cache.
+	FeatMemoSize int
 	// Timeout bounds one request end to end, including time spent
 	// queueing for a concurrency slot (default 30s).
 	Timeout time.Duration
@@ -71,6 +78,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 512
+	}
+	if c.FeatMemoSize == 0 {
+		c.FeatMemoSize = 4096
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
@@ -119,6 +129,10 @@ func (c Config) withDefaults() Config {
 //	serve/cache/hits          counter    predictions answered from the LRU
 //	serve/cache/misses        counter    predictions computed
 //	serve/cache/flushes       counter    whole-cache invalidations (swap/promote)
+//	serve/featmemo/hits       counter    matrix predictions answered from memoized features (parse + extract skipped)
+//	serve/featmemo/misses     counter    matrix predictions computed without a usable feature-memo entry
+//	serve/featmemo/entries    gauge      feature-memo entries resident
+//	serve/featmemo/bytes      gauge      approximate feature-memo heap footprint
 //	serve/batch/requests      counter    batch requests accepted
 //	serve/batch/items         counter    matrices received in batches
 //	serve/batch/item_errors   counter    batch items answered with a per-item error
@@ -146,16 +160,17 @@ func (c Config) withDefaults() Config {
 // and emitted in the access log. Requests to /v1/* also feed the
 // rolling SLO windows behind /v1/admin/slo.
 type Server struct {
-	backend Backend
-	admin   AdminBackend   // nil when the backend has no admin surface
-	drift   DriftBackend   // nil when the backend has no drift monitor
-	quality QualityBackend // nil when the backend keeps no quality windows
-	cfg     Config
-	sem     chan struct{}
-	cache   *lruCache
-	capture *obs.CaptureWriter // nil unless recording traffic
-	pending *pendingStore      // nil unless quality != nil
-	started time.Time
+	backend  Backend
+	admin    AdminBackend   // nil when the backend has no admin surface
+	drift    DriftBackend   // nil when the backend has no drift monitor
+	quality  QualityBackend // nil when the backend keeps no quality windows
+	cfg      Config
+	sem      chan struct{}
+	cache    *lruCache
+	featMemo *featMemo
+	capture  *obs.CaptureWriter // nil unless recording traffic
+	pending  *pendingStore      // nil unless quality != nil
+	started  time.Time
 
 	slo       *obs.SLOWindows
 	accessLog *slog.Logger
@@ -167,6 +182,8 @@ type Server struct {
 	cacheHits    *obs.Counter
 	cacheMisses  *obs.Counter
 	cacheFlushes *obs.Counter
+	memoHits     *obs.Counter
+	memoMisses   *obs.Counter
 	batchReqs    *obs.Counter
 	batchItems   *obs.Counter
 	batchErrors  *obs.Counter
@@ -221,6 +238,7 @@ func NewBackendServer(b Backend, cfg Config) (*Server, error) {
 		cfg:          cfg,
 		sem:          make(chan struct{}, cfg.MaxConcurrent),
 		cache:        newLRUCache(cfg.CacheSize),
+		featMemo:     newFeatMemo(cfg.FeatMemoSize),
 		capture:      cfg.Capture,
 		pending:      pending,
 		started:      time.Now(),
@@ -232,6 +250,8 @@ func NewBackendServer(b Backend, cfg Config) (*Server, error) {
 		cacheHits:    obs.Default.Counter("serve/cache/hits"),
 		cacheMisses:  obs.Default.Counter("serve/cache/misses"),
 		cacheFlushes: obs.Default.Counter("serve/cache/flushes"),
+		memoHits:     obs.Default.Counter("serve/featmemo/hits"),
+		memoMisses:   obs.Default.Counter("serve/featmemo/misses"),
 		batchReqs:    obs.Default.Counter("serve/batch/requests"),
 		batchItems:   obs.Default.Counter("serve/batch/items"),
 		batchErrors:  obs.Default.Counter("serve/batch/item_errors"),
@@ -258,10 +278,18 @@ func NewBackendServer(b Backend, cfg Config) (*Server, error) {
 // OnSwap hook) on every hot-swap and promotion, and the admin handlers
 // call it directly, so stale answers for a replaced model are
 // unreachable — on top of the artifact hash already being part of
-// every cache key.
+// every cache key. The feature memo is deliberately NOT flushed here:
+// body→features is model-independent, so memoized vectors stay valid
+// across swaps — that persistence is the memo's whole point.
 func (s *Server) FlushCache() {
 	s.cache.Flush()
 	s.cacheFlushes.Inc()
+}
+
+// FeatMemoStats reports the feature-memo hit/miss tallies (the
+// process-wide serve/featmemo/* counters), for tests and diagnostics.
+func (s *Server) FeatMemoStats() (hits, misses int64) {
+	return s.memoHits.Value(), s.memoMisses.Value()
 }
 
 // predictResponse is the JSON answer of the prediction endpoints.
@@ -511,16 +539,21 @@ type answered struct {
 
 // predictBody answers one MatrixMarket body against a resolved live
 // model: cache lookup (keyed by body content and the live artifact
-// hash), parse, extract (through the caller's scratch), predict, shadow
-// score. Shared by the single-matrix endpoint and every batch item, so
-// the two paths cannot drift.
+// hash), feature-memo lookup (keyed by body content alone), parse,
+// extract (through the caller's scratches), predict, shadow score.
+// Shared by the single-matrix endpoint and every batch item, so the two
+// paths cannot drift.
 //
 // While a shadow candidate is registered for the arch the cache is
 // bypassed entirely: shadow evaluation wants every request scored by
 // both models, and serving the live answer from the LRU would silently
-// shrink the comparison sample.
-func (s *Server) predictBody(lm LiveModel, cand LiveModel, shadowed bool, scratch *features.Scratch, body []byte) (answered, error) {
-	key := contentKey("matrix", lm.Hash, body)
+// shrink the comparison sample. The feature memo still serves shadowed
+// requests when it holds the full vector — both models then score the
+// memoized features, which is exactly what the parse path would feed
+// them.
+func (s *Server) predictBody(lm LiveModel, cand LiveModel, shadowed bool, scratch *features.Scratch, ps *sparse.ParseScratch, body []byte) (answered, error) {
+	sum := sha256.Sum256(body)
+	key := contentKeySum("matrix", lm.Hash, sum)
 	if !shadowed {
 		if pred, ok := s.cache.Get(key); ok {
 			s.cacheHits.Inc()
@@ -531,7 +564,21 @@ func (s *Server) predictBody(lm LiveModel, cand LiveModel, shadowed bool, scratc
 		}
 	}
 	s.cacheMisses.Inc()
-	m, err := sparse.ReadMatrixMarketBytes(body)
+	// Feature memo: a repeat body skips parse + extract even when the
+	// prediction cache missed (different model hash after a swap, cache
+	// disabled, or a different arch).
+	memoKey := ""
+	if s.featMemo.Enabled() {
+		memoKey = string(sum[:16])
+		if e, ok := s.featMemo.Get(memoKey); ok {
+			if ans, served := s.answerFromMemo(lm, cand, shadowed, key, e); served {
+				s.memoHits.Inc()
+				return ans, nil
+			}
+		}
+		s.memoMisses.Inc()
+	}
+	m, err := sparse.ReadMatrixMarketBytesScratch(body, ps)
 	if err != nil {
 		return answered{}, badRequest("parsing MatrixMarket body: %v", err)
 	}
@@ -555,10 +602,73 @@ func (s *Server) predictBody(lm LiveModel, cand LiveModel, shadowed bool, scratc
 	} else {
 		s.cache.Put(key, pred)
 	}
+	if memoKey != "" {
+		// Memoize whatever this request actually extracted. The vectors
+		// alias the caller's scratch, so copy before the next request
+		// overwrites them; cheap-only entries upgrade to full later.
+		if vec != nil {
+			s.featMemo.Put(memoKey, featEntry{full: append([]float64(nil), vec...)})
+		} else {
+			cheap := scratch.ExtractCheap(m)
+			s.featMemo.Put(memoKey, featEntry{cheap: append([]float64(nil), cheap[:]...)})
+		}
+	}
 	// Cheap answers never computed the 21-feature vector; like a cache
 	// hit, the drift monitor then advances only its label stream.
 	s.recordPrediction(lm.Arch, pred, vec)
 	return ans, nil
+}
+
+// answerFromMemo serves one cache-missed request from memoized feature
+// vectors, skipping parse and extraction. served=false means the entry
+// cannot answer this request (cheap-only entry but the cascade is not
+// confident, a shadow needs the full vector, or the model rejected the
+// vector) and the caller takes the parse path.
+func (s *Server) answerFromMemo(lm LiveModel, cand LiveModel, shadowed bool, cacheKey string, e featEntry) (answered, bool) {
+	if e.full != nil {
+		// Artifact.Predict routes the full vector through the cascade
+		// exactly like the parse path would, so stage, confidence and
+		// label come out identical to a fresh computation.
+		pred, err := lm.Artifact.Predict(e.full)
+		if err != nil {
+			return answered{}, false // let the parse path report it
+		}
+		s.noteCascade(lm.Artifact, pred)
+		ans := answered{pred: pred}
+		if shadowed {
+			ans.cand, ans.candOK = s.scoreShadow(lm.Arch, cand, pred, e.full)
+		} else {
+			s.cache.Put(cacheKey, pred)
+		}
+		s.recordPrediction(lm.Arch, pred, e.full)
+		return ans, true
+	}
+	// Cheap-only entry: answer only in exactly the situation the parse
+	// path would have answered from the cheap stage — an unshadowed
+	// request against a standard-ordering cascade that clears its
+	// threshold. Anything else needs the full vector, hence a parse.
+	c := lm.Artifact.Cascade
+	if shadowed || c == nil || !c.usesCheapOrder() || len(e.cheap) != features.CheapCount {
+		return answered{}, false
+	}
+	label, conf, err := c.decide(e.cheap)
+	if err != nil || conf < c.Threshold || label < 0 || label >= len(lm.Artifact.Formats) {
+		return answered{}, false
+	}
+	pred := Prediction{
+		Format:     lm.Artifact.Formats[label],
+		Label:      label,
+		Cluster:    -1,
+		Stage:      StageCheap,
+		Confidence: conf,
+	}
+	s.noteCascade(lm.Artifact, pred)
+	ans := answered{pred: pred}
+	s.cache.Put(cacheKey, pred)
+	// Like any cheap answer, the 21-feature vector was never computed:
+	// the drift monitor advances only its label stream.
+	s.recordPrediction(lm.Arch, pred, nil)
+	return ans, true
 }
 
 // Cascade confidences are probabilities; bucket the interesting top end
@@ -639,7 +749,9 @@ func (s *Server) predictMatrix(ctx context.Context, r *http.Request) (any, error
 	}
 	cand, shadowed := s.backend.Shadow(lm.Arch)
 	var scratch features.Scratch
-	ans, err := s.predictBody(lm, cand, shadowed, &scratch, body)
+	ps := sparse.GetParseScratch()
+	defer sparse.PutParseScratch(ps)
+	ans, err := s.predictBody(lm, cand, shadowed, &scratch, ps, body)
 	if err != nil {
 		return nil, err
 	}
@@ -749,12 +861,20 @@ func (s *Server) Run(ctx context.Context, addr string, ready func(bound string))
 // the live artifact hash, so entries cached under a replaced model can
 // never answer a request served by its successor.
 func contentKey(endpoint, modelHash string, body []byte) string {
+	return contentKeySum(endpoint, modelHash, sha256.Sum256(body))
+}
+
+// contentKeySum is contentKey over a precomputed body digest: the
+// matrix path hashes its body exactly once and reuses the digest for
+// both the prediction cache key (which must also cover the artifact
+// hash) and the feature-memo key (which must not).
+func contentKeySum(endpoint, modelHash string, sum [sha256.Size]byte) string {
 	h := sha256.New()
 	io.WriteString(h, endpoint)
 	h.Write([]byte{0})
 	io.WriteString(h, modelHash)
 	h.Write([]byte{0})
-	h.Write(body)
+	h.Write(sum[:])
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -24,14 +24,30 @@ func FuzzReadMatrixMarket(f *testing.F) {
 		"%%MatrixMarket matrix coordinate real general\n1 1 2\n1 1 1\n1 1 -1\n",
 		"%%MatrixMarket matrix array real general\n1 1\n1\n",
 		"garbage\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n3 3 4 extra\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n1 1 4611686018427387903\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 2.5\n",
+		"%%MatrixMarket matrix coordinate real general\r\n2 2 1\r\n1 2 8\r\n",
+		"%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 0.49671415301123271\n",
+		"%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 0x1p-2\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, data string) {
 		m, err := ReadMatrixMarket(strings.NewReader(data))
+		// The byte fast path must reach the same verdict as the
+		// streaming reader on every input — and the same matrix, bit
+		// for bit, on acceptance.
+		fm, ferr := ReadMatrixMarketBytes([]byte(data))
+		if (err == nil) != (ferr == nil) {
+			t.Fatalf("parser verdicts disagree:\n  streaming: %v\n  bytes:     %v", err, ferr)
+		}
 		if err != nil {
 			return // rejected input is fine; panics are not
+		}
+		if !csrIdentical(m, fm) {
+			t.Fatal("bytes parser produced a different matrix than the streaming parser")
 		}
 		if err := m.Validate(); err != nil {
 			t.Fatalf("parser produced an invalid matrix: %v", err)

@@ -2,7 +2,6 @@ package sparse
 
 import (
 	"bufio"
-	"bytes"
 	"fmt"
 	"io"
 	"strconv"
@@ -16,14 +15,15 @@ import (
 // are expanded to full storage, which is what every SpMV benchmark
 // (including CUSP's) does before timing.
 
-// ReadMatrixMarketBytes parses an in-memory MatrixMarket coordinate
-// body into CSR — the entry point for request bodies that were already
-// read (and size-bounded) by a network handler.
-func ReadMatrixMarketBytes(data []byte) (*CSR, error) {
-	return ReadMatrixMarket(bytes.NewReader(data))
-}
+// maxStreamReserve caps how many entries the streaming reader
+// pre-allocates on the declared count alone (1 MiB-scale buffers); the
+// byte fast path instead clamps by the remaining body size.
+const maxStreamReserve = 1 << 19
 
 // ReadMatrixMarket parses a MatrixMarket coordinate stream into CSR.
+// This is the general/streaming path; in-memory bodies should go
+// through ReadMatrixMarketBytes (mmio_fast.go), which produces
+// identical output without the scanner and tokenizing allocations.
 func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
@@ -59,7 +59,9 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 		return nil, fmt.Errorf("sparse: unsupported MatrixMarket symmetry %q", symmetry)
 	}
 
-	// Skip comments, read the size line.
+	// Skip comments, read the size line: exactly three base-10 integers.
+	// (fmt.Sscan would accept base prefixes and silently ignore trailing
+	// garbage like "3 3 4 extra".)
 	var rows, cols, declared int
 	for {
 		if !sc.Scan() {
@@ -69,7 +71,17 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
 		}
-		if _, err := fmt.Sscan(line, &rows, &cols, &declared); err != nil {
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("sparse: bad MatrixMarket size line %q", line)
+		}
+		var err error
+		if rows, err = strconv.Atoi(f[0]); err == nil {
+			if cols, err = strconv.Atoi(f[1]); err == nil {
+				declared, err = strconv.Atoi(f[2])
+			}
+		}
+		if err != nil {
 			return nil, fmt.Errorf("sparse: bad MatrixMarket size line %q: %w", line, err)
 		}
 		break
@@ -79,7 +91,17 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	}
 
 	t := NewTriplet(rows, cols)
-	t.Reserve(declared * 2) // room for symmetric expansion
+	// Reserve for the declared entries (doubled for symmetric
+	// expansion), but never trust the header beyond a bounded up-front
+	// allocation: a stream's true size is unknown here, and an
+	// adversarial size line ("1 1 4611686018427387903") must not force
+	// gigabytes of allocation — or overflow the doubling — before a
+	// single entry is read. Larger honest inputs just regrow by append.
+	reserve := declared
+	if reserve > maxStreamReserve {
+		reserve = maxStreamReserve
+	}
+	t.Reserve(reserve * 2) // room for symmetric expansion
 	read := 0
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())

@@ -1,0 +1,1058 @@
+package sparse
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/big"
+	"math/bits"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+	"unsafe"
+)
+
+// The byte-level MatrixMarket fast path. ReadMatrixMarketBytes parses
+// the in-memory body directly — no bufio.Scanner, no strings.Fields, no
+// fmt.Sscan — with hand-rolled integer/float tokenizers and pooled
+// triplet/CSR scratch, producing byte-identical CSR output to the
+// streaming reader (same assembly algorithm, same float rounding, same
+// accept/reject verdicts). Inputs the byte parser cannot model
+// bit-for-bit (non-ASCII whitespace, lines past the streaming scanner's
+// token limit) fall back to ReadMatrixMarket transparently, so the two
+// entry points can never disagree.
+
+// ParseScratch holds the reusable buffers one MatrixMarket parse needs:
+// the triplet accumulator and the CSR-assembly staging arrays. The zero
+// value is ready to use; a scratch amortises parse allocations to the
+// (rare) regrowth of these buffers, mirroring features.Scratch on the
+// extraction side. A ParseScratch must not be shared concurrently.
+type ParseScratch struct {
+	// Triplet accumulator (row, col, value per entry).
+	r, c []int32
+	v    []float64
+	// CSR assembly: counting-sort offsets and per-row staging.
+	start, pos []int32
+	cs         []int32
+	vs         []float64
+}
+
+var parseScratchPool = sync.Pool{New: func() any { return new(ParseScratch) }}
+
+// GetParseScratch returns a pooled scratch. Return it with
+// PutParseScratch when the parse (and any use of the returned CSR's
+// construction) is done; the CSR itself never aliases scratch memory.
+func GetParseScratch() *ParseScratch {
+	return parseScratchPool.Get().(*ParseScratch)
+}
+
+// PutParseScratch returns a scratch to the pool. nil is a no-op.
+func PutParseScratch(s *ParseScratch) {
+	if s != nil {
+		parseScratchPool.Put(s)
+	}
+}
+
+func grow32(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func growF64(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// assembleCSR builds the canonical CSR from unordered triplets: counting
+// sort by row, per-row column sort, duplicate summing, explicit-zero
+// dropping. It is the single assembly used by both Triplet.ToCSR and the
+// byte fast path, so the two produce bit-identical values (the per-row
+// sort is not stable, and duplicate-sum order depends on it). Staging
+// buffers come from s; the returned CSR owns fresh memory.
+func assembleCSR(rows, cols int, r, c []int32, v []float64, s *ParseScratch) *CSR {
+	n := len(v)
+	start := grow32(&s.start, rows+1)
+	clear(start)
+	for _, ri := range r {
+		start[ri+1]++
+	}
+	for i := 0; i < rows; i++ {
+		start[i+1] += start[i]
+	}
+	pos := grow32(&s.pos, rows)
+	copy(pos, start[:rows])
+	cScratch := grow32(&s.cs, n)
+	vScratch := growF64(&s.vs, n)
+	for k := 0; k < n; k++ {
+		p := pos[r[k]]
+		pos[r[k]]++
+		cScratch[p] = c[k]
+		vScratch[p] = v[k]
+	}
+
+	rowPtr := make([]int32, rows+1)
+	colIdx := make([]int32, 0, n)
+	vals := make([]float64, 0, n)
+	for i := 0; i < rows; i++ {
+		lo, hi := int(start[i]), int(start[i+1])
+		seg := cScratch[lo:hi]
+		vseg := vScratch[lo:hi]
+		sortRow(seg, vseg)
+		// Merge duplicates and drop zeros.
+		for k := 0; k < len(seg); {
+			j := k + 1
+			sum := vseg[k]
+			for j < len(seg) && seg[j] == seg[k] {
+				sum += vseg[j]
+				j++
+			}
+			if sum != 0 {
+				colIdx = append(colIdx, seg[k])
+				vals = append(vals, sum)
+				rowPtr[i+1]++
+			}
+			k = j
+		}
+	}
+	for i := 0; i < rows; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	return &CSR{rows: rows, cols: cols, rowPtr: rowPtr, colIdx: colIdx, vals: vals}
+}
+
+// ReadMatrixMarketBytes parses an in-memory MatrixMarket coordinate
+// body into CSR — the entry point for request bodies that were already
+// read (and size-bounded) by a network handler. It runs the byte-level
+// fast path over a pooled scratch; output and verdicts are identical to
+// ReadMatrixMarket over the same bytes.
+func ReadMatrixMarketBytes(data []byte) (*CSR, error) {
+	s := GetParseScratch()
+	defer PutParseScratch(s)
+	return ReadMatrixMarketBytesScratch(data, s)
+}
+
+// ReadMatrixMarketBytesScratch is ReadMatrixMarketBytes over an
+// explicit scratch, for callers (batch workers, benchmarks) that hold
+// one scratch across many parses.
+func ReadMatrixMarketBytesScratch(data []byte, s *ParseScratch) (*CSR, error) {
+	m, handled, err := readMatrixMarketFast(data, s)
+	if !handled {
+		return ReadMatrixMarket(bytes.NewReader(data))
+	}
+	return m, err
+}
+
+// maxLineLen mirrors the streaming reader's bufio.Scanner token cap;
+// lines near it fall back to the streaming path so over-long-line
+// verdicts stay identical.
+const maxLineLen = 1 << 24
+
+// byteLines iterates '\n'-separated lines of an in-memory buffer with
+// bufio.ScanLines semantics: the terminator and one trailing '\r' are
+// stripped, and a final unterminated line is returned.
+type byteLines struct {
+	data []byte
+	pos  int
+}
+
+func (b *byteLines) next() (line []byte, ok bool) {
+	if b.pos >= len(b.data) {
+		return nil, false
+	}
+	rest := b.data[b.pos:]
+	if i := bytes.IndexByte(rest, '\n'); i >= 0 {
+		line = rest[:i]
+		b.pos += i + 1
+	} else {
+		line = rest
+		b.pos = len(b.data)
+	}
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, true
+}
+
+// isSpaceASCII matches unicode.IsSpace restricted to single-byte runes —
+// the separator set strings.Fields uses on pure-ASCII input.
+func isSpaceASCII(b byte) bool {
+	switch b {
+	case ' ', '\t', '\n', '\v', '\f', '\r':
+		return true
+	}
+	return false
+}
+
+// nextTok returns the next ASCII-whitespace-separated token of line
+// starting at *i. ok is false when the line is exhausted. fallback is
+// true when a byte >= 0x80 is seen before the token ends: Unicode
+// whitespace could split the line differently than the ASCII rules, so
+// the caller must re-parse with the streaming reader.
+func nextTok(line []byte, i *int) (tok []byte, ok, fallback bool) {
+	j := *i
+	for j < len(line) {
+		b := line[j]
+		if b >= utf8.RuneSelf {
+			return nil, false, true
+		}
+		if !isSpaceASCII(b) {
+			break
+		}
+		j++
+	}
+	if j >= len(line) {
+		*i = j
+		return nil, false, false
+	}
+	k := j
+	for k < len(line) {
+		b := line[k]
+		if b >= utf8.RuneSelf {
+			return nil, false, true
+		}
+		if isSpaceASCII(b) {
+			break
+		}
+		k++
+	}
+	*i = k
+	return line[j:k], true, false
+}
+
+type lineKind int
+
+const (
+	lineData lineKind = iota
+	lineSkip
+	lineFallback
+)
+
+// classifyLine decides blank/comment/data by the streaming reader's
+// rules (TrimSpace + "%" prefix) using ASCII whitespace only; a high
+// byte seen before the decision is settled forces a fallback, since
+// Unicode trimming could reclassify the line.
+func classifyLine(line []byte) lineKind {
+	for _, b := range line {
+		if b >= utf8.RuneSelf {
+			return lineFallback
+		}
+		if isSpaceASCII(b) {
+			continue
+		}
+		if b == '%' {
+			return lineSkip
+		}
+		return lineData
+	}
+	return lineSkip
+}
+
+// asciiLowerEq reports tok == want after ASCII lowercasing of tok
+// (callers have already established tok is pure ASCII).
+func asciiLowerEq(tok []byte, want string) bool {
+	if len(tok) != len(want) {
+		return false
+	}
+	for i := 0; i < len(tok); i++ {
+		b := tok[i]
+		if 'A' <= b && b <= 'Z' {
+			b += 'a' - 'A'
+		}
+		if b != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// asciiLower allocates a lowercased copy — error paths only.
+func asciiLower(tok []byte) string {
+	out := make([]byte, len(tok))
+	for i, b := range tok {
+		if 'A' <= b && b <= 'Z' {
+			b += 'a' - 'A'
+		}
+		out[i] = b
+	}
+	return string(out)
+}
+
+// parseIntBytes is strconv.Atoi over bytes: optional sign, at least one
+// decimal digit, nothing else. Overflowing int64 reports !ok, matching
+// Atoi's ErrRange rejection in the streaming reader.
+func parseIntBytes(tok []byte) (int, bool) {
+	if len(tok) == 0 {
+		return 0, false
+	}
+	i := 0
+	neg := false
+	if tok[0] == '+' || tok[0] == '-' {
+		neg = tok[0] == '-'
+		i++
+		if i == len(tok) {
+			return 0, false
+		}
+	}
+	for i < len(tok) && tok[i] == '0' {
+		i++
+	}
+	var n uint64
+	digits := 0
+	for ; i < len(tok); i++ {
+		b := tok[i]
+		if b < '0' || b > '9' {
+			return 0, false
+		}
+		digits++
+		if digits > 19 { // past int64 range, no wraparound possible below
+			return 0, false
+		}
+		n = n*10 + uint64(b-'0')
+	}
+	if neg {
+		if n > 1<<63 {
+			return 0, false
+		}
+		return -int(n), true
+	}
+	if n > math.MaxInt64 {
+		return 0, false
+	}
+	return int(n), true
+}
+
+// pow10tab holds the exactly-representable powers of ten.
+var pow10tab = [...]float64{
+	1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11,
+	1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+// parseFloatFastPath converts tokens whose mantissa fits in 53 bits and
+// whose decimal exponent is within ±22: float64(mant) and the power of
+// ten are then both exact, so the single multiply/divide is correctly
+// rounded (Clinger's fast path) — bit-identical to strconv.ParseFloat.
+// Anything else (long mantissas, huge exponents, hex floats, inf/nan,
+// underscores) reports !ok and goes to strconv itself.
+func parseFloatFastPath(tok []byte) (float64, bool) {
+	i, n := 0, len(tok)
+	if n == 0 {
+		return 0, false
+	}
+	neg := false
+	if tok[0] == '+' || tok[0] == '-' {
+		neg = tok[0] == '-'
+		i++
+	}
+	// Integer digits, then an optional '.' and fraction digits. mant
+	// accumulates the raw digit string; leading zeros multiply into it
+	// harmlessly, and a total of <= 19 digits cannot overflow uint64.
+	var mant uint64
+	is := i
+	for i < n {
+		c := tok[i] - '0'
+		if c > 9 {
+			break
+		}
+		mant = mant*10 + uint64(c)
+		i++
+	}
+	digits := i - is
+	exp := 0 // decimal exponent of mant
+	if i < n && tok[i] == '.' {
+		i++
+		fs := i
+		for i < n {
+			c := tok[i] - '0'
+			if c > 9 {
+				break
+			}
+			mant = mant*10 + uint64(c)
+			i++
+		}
+		exp = fs - i
+		digits += i - fs
+	}
+	if digits == 0 || digits > 19 {
+		return 0, false
+	}
+	if i < n {
+		if b := tok[i]; b != 'e' && b != 'E' {
+			return 0, false
+		}
+		i++
+		eneg := false
+		if i < n && (tok[i] == '+' || tok[i] == '-') {
+			eneg = tok[i] == '-'
+			i++
+		}
+		if i >= n {
+			return 0, false
+		}
+		ev := 0
+		for ; i < n; i++ {
+			b := tok[i]
+			if b < '0' || b > '9' {
+				return 0, false
+			}
+			ev = ev*10 + int(b-'0')
+			if ev > 400 {
+				return 0, false
+			}
+		}
+		if eneg {
+			ev = -ev
+		}
+		exp += ev
+	}
+	if mant == 0 {
+		if neg {
+			return math.Copysign(0, -1), true
+		}
+		return 0, true
+	}
+	if mant < 1<<53 && exp >= -22 && exp <= 22 {
+		f := float64(mant)
+		if exp > 0 {
+			f *= pow10tab[exp]
+		} else if exp < 0 {
+			f /= pow10tab[-exp]
+		}
+		if neg {
+			f = -f
+		}
+		return f, true
+	}
+	return elParse(mant, exp, neg)
+}
+
+// Eisel-Lemire decimal→binary conversion for the mantissa/exponent
+// shapes Clinger's single-multiply path cannot handle exactly — in
+// particular WriteMatrixMarket's own %.17g output, whose 17 significant
+// digits exceed 2^53. The product of the exact decimal mantissa with a
+// 128-bit rounded-up approximation of 10^q determines the correctly
+// rounded float64 except in provably ambiguous cases, which report !ok
+// and fall back to strconv's slow path.
+
+const (
+	elMinExp10 = -348
+	elMaxExp10 = 347
+)
+
+// elPow10[q-elMinExp10] is the normalized 128-bit mantissa {lo, hi} of
+// 10^q, rounded up. Generated at init from exact big-integer arithmetic
+// (10^q and 5^q share mantissa bits) instead of an embedded table.
+var elPow10 [elMaxExp10 - elMinExp10 + 1][2]uint64
+
+func init() {
+	one := big.NewInt(1)
+	five := big.NewInt(5)
+	mask64 := new(big.Int).Sub(new(big.Int).Lsh(one, 64), one)
+	var m big.Int
+	for q := elMinExp10; q <= elMaxExp10; q++ {
+		if q >= 0 {
+			m.Exp(five, big.NewInt(int64(q)), nil)
+			if l := m.BitLen(); l <= 128 {
+				m.Lsh(&m, uint(128-l))
+			} else {
+				shift := uint(l - 128)
+				adj := new(big.Int).Sub(new(big.Int).Lsh(one, shift), one)
+				m.Add(&m, adj)
+				m.Rsh(&m, shift) // ceil(5^q / 2^shift)
+			}
+		} else {
+			d := new(big.Int).Exp(five, big.NewInt(int64(-q)), nil)
+			num := new(big.Int).Lsh(one, uint(127+d.BitLen()))
+			num.Add(num, d)
+			num.Sub(num, one)
+			m.Div(num, d) // ceil(2^(127+bits(d)) / 5^-q)
+		}
+		if m.BitLen() != 128 {
+			panic("sparse: power-of-ten table entry not normalized")
+		}
+		elPow10[q-elMinExp10][0] = new(big.Int).And(&m, mask64).Uint64()
+		elPow10[q-elMinExp10][1] = new(big.Int).Rsh(&m, 64).Uint64()
+	}
+}
+
+// elParse converts man × 10^exp10 (man ≠ 0, exactly the decimal digits
+// — no truncation) to the correctly rounded float64. ok=false means the
+// rounding is ambiguous at this precision, or the result is subnormal
+// or out of range; the caller then defers to strconv.
+func elParse(man uint64, exp10 int, neg bool) (float64, bool) {
+	if exp10 < -307 || exp10 > 288 {
+		return 0, false // may be subnormal or infinite: strconv decides
+	}
+	pow := &elPow10[exp10-elMinExp10]
+	clz := bits.LeadingZeros64(man)
+	w := man << uint(clz)
+	exp2 := (217706*exp10)>>16 + 64 + 1023 - clz // 217706/2^16 ≈ log2(10)
+
+	xHi, xLo := bits.Mul64(w, pow[1])
+	if xHi&0x1FF == 0x1FF && xLo+w < w {
+		// The truncated product is too close to a rounding boundary:
+		// refine with the low word of the 128-bit power.
+		yHi, yLo := bits.Mul64(w, pow[0])
+		mergedHi, mergedLo := xHi, xLo+yHi
+		if mergedLo < xLo {
+			mergedHi++
+		}
+		if mergedHi&0x1FF == 0x1FF && mergedLo+1 == 0 && yLo+w < w {
+			return 0, false // still ambiguous at 128 bits
+		}
+		xHi, xLo = mergedHi, mergedLo
+	}
+
+	msb := int(xHi >> 63)
+	mantissa := xHi >> (uint(msb) + 9)
+	exp2 -= 1 ^ msb
+
+	if xLo == 0 && xHi&0x1FF == 0 && mantissa&3 == 1 {
+		return 0, false // exactly half-way: round-to-even needs the full product
+	}
+	mantissa += mantissa & 1 // round up
+	mantissa >>= 1
+	if mantissa>>53 > 0 {
+		mantissa >>= 1
+		exp2++
+	}
+	if exp2 <= 0 || exp2 >= 0x7FF {
+		return 0, false // subnormal or overflow: strconv decides
+	}
+	bits64 := uint64(exp2)<<52 | mantissa&0x000FFFFFFFFFFFFF
+	if neg {
+		bits64 |= 1 << 63
+	}
+	return math.Float64frombits(bits64), true
+}
+
+// bytesString views b as a string without copying. The result must not
+// be retained past b's lifetime; strconv.ParseFloat's success path does
+// not retain its argument.
+func bytesString(b []byte) string {
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// parseFloatBytes parses tok exactly like strconv.ParseFloat(string(tok), 64)
+// without allocating on the success path.
+func parseFloatBytes(tok []byte) (float64, error) {
+	if f, ok := parseFloatFastPath(tok); ok {
+		return f, nil
+	}
+	f, err := strconv.ParseFloat(bytesString(tok), 64)
+	if err != nil {
+		// The error retains its input string; rebuild it over a stable
+		// copy, since tok aliases a caller-owned request buffer.
+		return strconv.ParseFloat(string(tok), 64)
+	}
+	return f, nil
+}
+
+type scanStatus int
+
+const (
+	scanOK scanStatus = iota
+	scanEOL
+	scanFallback
+)
+
+// Byte classes for the entry-section scanner: one table load replaces
+// the whitespace switch plus the non-ASCII comparison.
+const (
+	clTok   = 0 // ordinary token byte
+	clSpace = 1 // intra-line ASCII whitespace
+	clEOL   = 2 // '\n'
+	clHigh  = 3 // >= utf8.RuneSelf: fall back to the streaming reader
+)
+
+var byteClass [256]uint8
+
+func init() {
+	for _, c := range []byte{' ', '\t', '\v', '\f', '\r'} {
+		byteClass[c] = clSpace
+	}
+	byteClass['\n'] = clEOL
+	for i := utf8.RuneSelf; i < 256; i++ {
+		byteClass[i] = clHigh
+	}
+}
+
+// scanInt skips intra-line whitespace, then scans one token and parses
+// it as a decimal integer in the same pass. ok=false with st==scanOK
+// means the token [ts,te) did not match the inline grammar; the caller
+// re-parses it with parseIntBytes, which delivers the final verdict.
+func scanInt(data []byte, pos int) (v int, ts, te, newPos int, st scanStatus, ok bool) {
+	n := len(data)
+	for pos < n {
+		c := byteClass[data[pos]]
+		if c != clSpace {
+			if c == clEOL {
+				return 0, 0, 0, pos, scanEOL, false
+			}
+			if c == clHigh {
+				return 0, 0, 0, pos, scanFallback, false
+			}
+			break
+		}
+		pos++
+	}
+	if pos == n {
+		return 0, 0, 0, pos, scanEOL, false
+	}
+	ts = pos
+	neg := false
+	if b := data[pos]; b == '+' || b == '-' {
+		neg = b == '-'
+		pos++
+	}
+	ds := pos
+	for pos < n && data[pos] == '0' {
+		pos++
+	}
+	sig := pos
+	var u uint64
+	for pos < n {
+		c := data[pos] - '0'
+		if c > 9 {
+			break
+		}
+		u = u*10 + uint64(c)
+		pos++
+	}
+	nd := pos - sig
+	hasDigits := pos > ds
+	numEnd := pos
+	// Scan to the actual token end; trailing junk or a non-ASCII byte
+	// decides between slow-path reparse and streaming fallback.
+	for pos < n {
+		c := byteClass[data[pos]]
+		if c != clTok {
+			if c == clHigh {
+				return 0, 0, 0, pos, scanFallback, false
+			}
+			break
+		}
+		pos++
+	}
+	te = pos
+	if numEnd != te || !hasDigits || nd > 19 {
+		return 0, ts, te, pos, scanOK, false
+	}
+	if neg {
+		if u > 1<<63 {
+			return 0, ts, te, pos, scanOK, false
+		}
+		return -int(u), ts, te, pos, scanOK, true
+	}
+	if u > math.MaxInt64 {
+		return 0, ts, te, pos, scanOK, false
+	}
+	return int(u), ts, te, pos, scanOK, true
+}
+
+// scanFloat is scanInt's real-valued counterpart: token scan and float
+// conversion fused into one pass over the bytes. ok=false with
+// st==scanOK means [ts,te) needs parseFloatBytes (inf/nan/hex forms,
+// >19 digits, or a provably ambiguous rounding).
+func scanFloat(data []byte, pos int) (v float64, ts, te, newPos int, st scanStatus, ok bool) {
+	n := len(data)
+	for pos < n {
+		c := byteClass[data[pos]]
+		if c != clSpace {
+			if c == clEOL {
+				return 0, 0, 0, pos, scanEOL, false
+			}
+			if c == clHigh {
+				return 0, 0, 0, pos, scanFallback, false
+			}
+			break
+		}
+		pos++
+	}
+	if pos == n {
+		return 0, 0, 0, pos, scanEOL, false
+	}
+	ts = pos
+	neg := false
+	if b := data[pos]; b == '+' || b == '-' {
+		neg = b == '-'
+		pos++
+	}
+	var mant uint64
+	is := pos
+	for pos < n {
+		c := data[pos] - '0'
+		if c > 9 {
+			break
+		}
+		mant = mant*10 + uint64(c)
+		pos++
+	}
+	digits := pos - is
+	exp := 0
+	if pos < n && data[pos] == '.' {
+		pos++
+		fs := pos
+		for pos < n {
+			c := data[pos] - '0'
+			if c > 9 {
+				break
+			}
+			mant = mant*10 + uint64(c)
+			pos++
+		}
+		exp = fs - pos
+		digits += pos - fs
+	}
+	if digits > 0 && pos < n {
+		if b := data[pos]; b == 'e' || b == 'E' {
+			p := pos + 1
+			eneg := false
+			if p < n {
+				if b := data[p]; b == '+' || b == '-' {
+					eneg = b == '-'
+					p++
+				}
+			}
+			es := p
+			ev := 0
+			for p < n {
+				c := data[p] - '0'
+				if c > 9 {
+					break
+				}
+				if ev < 10000 {
+					ev = ev*10 + int(c)
+				}
+				p++
+			}
+			if p > es {
+				// At least one exponent digit: part of the number. A
+				// bare "e"/"e+" stays unconsumed and forces slow path.
+				if eneg {
+					ev = -ev
+				}
+				exp += ev
+				pos = p
+			}
+		}
+	}
+	numEnd := pos
+	for pos < n {
+		c := byteClass[data[pos]]
+		if c != clTok {
+			if c == clHigh {
+				return 0, 0, 0, pos, scanFallback, false
+			}
+			break
+		}
+		pos++
+	}
+	te = pos
+	if numEnd != te || digits == 0 || digits > 19 {
+		return 0, ts, te, pos, scanOK, false
+	}
+	if mant == 0 {
+		if neg {
+			return math.Copysign(0, -1), ts, te, pos, scanOK, true
+		}
+		return 0, ts, te, pos, scanOK, true
+	}
+	if mant < 1<<53 && exp >= -22 && exp <= 22 {
+		f := float64(mant)
+		if exp > 0 {
+			f *= pow10tab[exp]
+		} else if exp < 0 {
+			f /= pow10tab[-exp]
+		}
+		if neg {
+			f = -f
+		}
+		return f, ts, te, pos, scanOK, true
+	}
+	v, ok = elParse(mant, exp, neg)
+	return v, ts, te, pos, scanOK, ok
+}
+
+// lineAt recovers the line starting at start for error messages,
+// mirroring the scanner's trailing-\r strip.
+func lineAt(data []byte, start int) []byte {
+	l := data[start:]
+	if j := bytes.IndexByte(l, '\n'); j >= 0 {
+		l = l[:j]
+	}
+	if len(l) > 0 && l[len(l)-1] == '\r' {
+		l = l[:len(l)-1]
+	}
+	return l
+}
+
+// readMatrixMarketFast is the byte-level parser. handled=false means
+// the input needs the streaming reader (non-ASCII whitespace in a
+// tokenized position, or a line at the scanner's token cap) — never an
+// error, just "cannot promise identical verdicts".
+func readMatrixMarketFast(data []byte, s *ParseScratch) (m *CSR, handled bool, err error) {
+	const maxSafeLine = maxLineLen - 2
+	bl := byteLines{data: data}
+
+	line, ok := bl.next()
+	if !ok {
+		return nil, true, fmt.Errorf("sparse: empty MatrixMarket stream")
+	}
+	if len(line) > maxSafeLine {
+		return nil, false, nil
+	}
+	var hdr [5][]byte
+	nh := 0
+	for i := 0; ; {
+		tok, ok, fb := nextTok(line, &i)
+		if fb {
+			return nil, false, nil
+		}
+		if !ok {
+			break
+		}
+		if nh == 5 {
+			nh = 6 // a sixth field: malformed
+			break
+		}
+		hdr[nh] = tok
+		nh++
+	}
+	if nh != 5 || !asciiLowerEq(hdr[0], "%%matrixmarket") {
+		return nil, true, fmt.Errorf("sparse: malformed MatrixMarket header %q", string(line))
+	}
+	if !asciiLowerEq(hdr[1], "matrix") || !asciiLowerEq(hdr[2], "coordinate") {
+		return nil, true, fmt.Errorf("sparse: unsupported MatrixMarket object %q %q",
+			asciiLower(hdr[1]), asciiLower(hdr[2]))
+	}
+	pattern := false
+	switch {
+	case asciiLowerEq(hdr[3], "real"), asciiLowerEq(hdr[3], "integer"):
+	case asciiLowerEq(hdr[3], "pattern"):
+		pattern = true
+	default:
+		return nil, true, fmt.Errorf("sparse: unsupported MatrixMarket value type %q", asciiLower(hdr[3]))
+	}
+	var symSign float64
+	switch {
+	case asciiLowerEq(hdr[4], "general"):
+		symSign = 0
+	case asciiLowerEq(hdr[4], "symmetric"):
+		symSign = 1
+	case asciiLowerEq(hdr[4], "skew-symmetric"):
+		symSign = -1
+	default:
+		return nil, true, fmt.Errorf("sparse: unsupported MatrixMarket symmetry %q", asciiLower(hdr[4]))
+	}
+
+	// Skip comments, read the size line: exactly three integers, no
+	// trailing garbage.
+	var rows, cols, declared int
+	for {
+		line, ok = bl.next()
+		if !ok {
+			return nil, true, fmt.Errorf("sparse: MatrixMarket stream missing size line")
+		}
+		if len(line) > maxSafeLine {
+			return nil, false, nil
+		}
+		switch classifyLine(line) {
+		case lineSkip:
+			continue
+		case lineFallback:
+			return nil, false, nil
+		}
+		var nums [3]int
+		nt := 0
+		bad := false
+		for i := 0; ; {
+			tok, ok, fb := nextTok(line, &i)
+			if fb {
+				return nil, false, nil
+			}
+			if !ok {
+				break
+			}
+			if nt == 3 {
+				bad = true // trailing garbage
+				break
+			}
+			v, okInt := parseIntBytes(tok)
+			if !okInt {
+				bad = true
+				break
+			}
+			nums[nt] = v
+			nt++
+		}
+		if bad || nt != 3 {
+			return nil, true, fmt.Errorf("sparse: bad MatrixMarket size line %q", string(line))
+		}
+		rows, cols, declared = nums[0], nums[1], nums[2]
+		break
+	}
+	if rows <= 0 || cols <= 0 || declared < 0 {
+		return nil, true, fmt.Errorf("sparse: bad MatrixMarket sizes %d %d %d", rows, cols, declared)
+	}
+
+	// Reserve for the declared entries, but never trust the header for
+	// more than the remaining bytes could actually encode (the shortest
+	// entry is "1 1 1\n", or "1 1\n" for pattern): an adversarial size
+	// line must not force a huge allocation before any entry is read.
+	remaining := len(data) - bl.pos
+	minEntry := 6
+	if pattern {
+		minEntry = 4
+	}
+	maxFromBody := remaining/minEntry + 1
+	res := declared
+	if res > maxFromBody {
+		res = maxFromBody
+	}
+	if symSign != 0 {
+		res *= 2 // symmetric expansion; res <= len(data), no overflow
+	}
+	if cap(s.r) < res {
+		s.r = make([]int32, 0, res)
+	}
+	if cap(s.c) < res {
+		s.c = make([]int32, 0, res)
+	}
+	if cap(s.v) < res {
+		s.v = make([]float64, 0, res)
+	}
+	rr, cc, vv := s.r[:0], s.c[:0], s.v[:0]
+
+	// The entry section is scanned as one flat byte stream rather than
+	// line by line: newlines terminate entries, but there is no separate
+	// line-splitting pass. Every accepted line is still length-checked
+	// against the scanner cap before its entry counts, so verdicts match
+	// the streaming reader even on pathological input.
+	read := 0
+	pos := bl.pos
+	end := len(data)
+	for pos < end {
+		lineStart := pos
+		// Leading whitespace, then classify: blank, comment, or entry.
+		var b byte
+		for pos < end {
+			b = data[pos]
+			if b == '\n' || !isSpaceASCII(b) {
+				break
+			}
+			pos++
+		}
+		if pos == end {
+			if end-lineStart > maxSafeLine {
+				return nil, false, nil
+			}
+			break // trailing whitespace only
+		}
+		if b == '\n' {
+			if pos-lineStart > maxSafeLine {
+				return nil, false, nil
+			}
+			pos++
+			continue
+		}
+		if b >= utf8.RuneSelf {
+			return nil, false, nil
+		}
+		if b == '%' {
+			j := bytes.IndexByte(data[pos:], '\n')
+			if j < 0 {
+				if end-lineStart > maxSafeLine {
+					return nil, false, nil
+				}
+				break
+			}
+			if pos+j-lineStart > maxSafeLine {
+				return nil, false, nil
+			}
+			pos += j + 1
+			continue
+		}
+
+		iv, t1s, t1e, p1, st1, ok1 := scanInt(data, pos)
+		if st1 != scanOK {
+			return nil, false, nil // high byte; EOL is impossible here
+		}
+		if !ok1 {
+			return nil, true, fmt.Errorf("sparse: bad MatrixMarket row index %q", string(data[t1s:t1e]))
+		}
+		jv, t2s, t2e, p2, st2, ok2 := scanInt(data, p1)
+		if st2 != scanOK {
+			if st2 == scanFallback {
+				return nil, false, nil
+			}
+			return nil, true, fmt.Errorf("sparse: short MatrixMarket entry %q", string(lineAt(data, lineStart)))
+		}
+		if !ok2 {
+			return nil, true, fmt.Errorf("sparse: bad MatrixMarket column index %q", string(data[t2s:t2e]))
+		}
+		pos = p2
+		v := 1.0
+		if !pattern {
+			var t3s, t3e int
+			var st3 scanStatus
+			var ok3 bool
+			v, t3s, t3e, pos, st3, ok3 = scanFloat(data, pos)
+			if st3 != scanOK {
+				if st3 == scanFallback {
+					return nil, false, nil
+				}
+				return nil, true, fmt.Errorf("sparse: short MatrixMarket entry %q", string(lineAt(data, lineStart)))
+			}
+			if !ok3 {
+				var errV error
+				v, errV = parseFloatBytes(data[t3s:t3e])
+				if errV != nil {
+					return nil, true, fmt.Errorf("sparse: bad MatrixMarket value %q: %w", string(data[t3s:t3e]), errV)
+				}
+			}
+		}
+		// Ignored trailing fields: skip to end of line, still bounded by
+		// the scanner cap so an accept here implies a streaming accept.
+		if j := bytes.IndexByte(data[pos:], '\n'); j < 0 {
+			if end-lineStart > maxSafeLine {
+				return nil, false, nil
+			}
+			pos = end
+		} else {
+			if pos+j-lineStart > maxSafeLine {
+				return nil, false, nil
+			}
+			pos += j + 1
+		}
+		row, col := iv-1, jv-1
+		if row < 0 || row >= rows || col < 0 || col >= cols {
+			return nil, true, fmt.Errorf("%w: (%d, %d) outside %dx%d", ErrIndexRange, row, col, rows, cols)
+		}
+		rr = append(rr, int32(row))
+		cc = append(cc, int32(col))
+		vv = append(vv, v)
+		if symSign != 0 && iv != jv {
+			// The mirrored entry re-checks bounds, exactly like the
+			// second Triplet.Add in the streaming reader (a non-square
+			// "symmetric" input can put the mirror out of range).
+			if col >= rows || row >= cols {
+				return nil, true, fmt.Errorf("%w: (%d, %d) outside %dx%d", ErrIndexRange, col, row, rows, cols)
+			}
+			rr = append(rr, int32(col))
+			cc = append(cc, int32(row))
+			vv = append(vv, symSign*v)
+		}
+		read++
+	}
+	s.r, s.c, s.v = rr, cc, vv
+	if read != declared {
+		return nil, true, fmt.Errorf("sparse: MatrixMarket declares %d entries, found %d", declared, read)
+	}
+	return assembleCSR(rows, cols, rr, cc, vv, s), true, nil
+}

@@ -1,0 +1,308 @@
+package sparse
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// csrIdentical is bitwise equality: same dims, same index arrays, same
+// value bits (so -0 vs 0 and NaN payloads count). The fast path promises
+// byte-identical output to the streaming reader, not just numerical
+// closeness.
+func csrIdentical(a, b *CSR) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	if len(a.rowPtr) != len(b.rowPtr) || len(a.colIdx) != len(b.colIdx) || len(a.vals) != len(b.vals) {
+		return false
+	}
+	for i := range a.rowPtr {
+		if a.rowPtr[i] != b.rowPtr[i] {
+			return false
+		}
+	}
+	for i := range a.colIdx {
+		if a.colIdx[i] != b.colIdx[i] {
+			return false
+		}
+	}
+	for i := range a.vals {
+		if math.Float64bits(a.vals[i]) != math.Float64bits(b.vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkParsersAgree runs both parsers over data and fails unless they
+// reach the same verdict — and, on acceptance, the same matrix bit for
+// bit.
+func checkParsersAgree(t *testing.T, data string) {
+	t.Helper()
+	sm, serr := ReadMatrixMarket(strings.NewReader(data))
+	fm, ferr := ReadMatrixMarketBytes([]byte(data))
+	if (serr == nil) != (ferr == nil) {
+		t.Fatalf("verdicts disagree on %q:\n  streaming: %v\n  bytes:     %v", data, serr, ferr)
+	}
+	if serr != nil {
+		return
+	}
+	if !csrIdentical(sm, fm) {
+		t.Fatalf("parsers disagree on %q:\n  streaming: %dx%d nnz %d\n  bytes:     %dx%d nnz %d",
+			data, sm.rows, sm.cols, sm.NNZ(), fm.rows, fm.cols, fm.NNZ())
+	}
+}
+
+// TestReadMatrixMarketDifferential pins the fast path to the streaming
+// reader across valid, degenerate and malformed inputs, including the
+// non-ASCII-whitespace cases where the fast path must fall back to keep
+// identical verdicts.
+func TestReadMatrixMarketDifferential(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"basic real", "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 3.5\n2 2 -1.25\n"},
+		{"integer type", "%%MatrixMarket matrix coordinate integer general\n2 2 2\n1 2 7\n2 1 -3\n"},
+		{"pattern", "%%MatrixMarket matrix coordinate pattern general\n2 3 2\n1 1\n2 3\n"},
+		{"pattern extra fields", "%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 1 junk trailing\n"},
+		{"symmetric", "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 1\n3 1 2\n2 2 4\n"},
+		{"skew-symmetric", "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 4\n"},
+		{"skew diagonal kept", "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 2\n2 1 4\n1 1 9\n"},
+		{"zero nnz", "%%MatrixMarket matrix coordinate real general\n3 4 0\n"},
+		{"uppercase header", "%%MATRIXMARKET MATRIX COORDINATE REAL GENERAL\n1 1 1\n1 1 2\n"},
+		{"mixed case symmetry", "%%MatrixMarket matrix coordinate Real Symmetric\n2 2 1\n2 1 5\n"},
+		{"crlf endings", "%%MatrixMarket matrix coordinate real general\r\n2 2 1\r\n1 2 8\r\n"},
+		{"no trailing newline", "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 2.5"},
+		{"comments and blanks", "%%MatrixMarket matrix coordinate real general\n% a comment\n\n  \n3 3 1\n% mid comment\n2 2 6\n\n"},
+		{"tabs and extra spaces", "%%MatrixMarket matrix coordinate real general\n  2\t2  1 \n 1\t1\t 4.5  \n"},
+		{"vertical tab separator", "%%MatrixMarket matrix coordinate real general\n2\v2\v1\n1\v1\v2\n"},
+		{"carriage return separator", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\r1\r2\n"},
+		{"duplicates summed", "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1\n1 1 2\n2 1 5\n"},
+		{"duplicates cancel", "%%MatrixMarket matrix coordinate real general\n1 1 2\n1 1 1\n1 1 -1\n"},
+		{"explicit zero dropped", "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 0\n2 2 3\n"},
+		{"entry extra fields ignored", "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 2.5 these are ignored\n"},
+		{"seventeen digit mantissas", "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 0.49671415301123271\n2 2 -1.7612069338999298e-12\n"},
+		{"huge exponent", "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1e300\n"},
+		{"tiny exponent", "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 4.9e-324\n"},
+		{"overflow to inf", "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1e999\n"},
+		{"negative zero value", "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 -0.0\n"},
+		{"leading dot", "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 .5\n"},
+		{"trailing dot", "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 5.\n"},
+		{"plus signs", "%%MatrixMarket matrix coordinate real general\n1 1 1\n+1 +1 +2.5e+1\n"},
+		{"nan value", "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 nan\n"},
+		{"inf value", "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 +Inf\n"},
+		{"underscored value rejected", "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1_0\n"},
+		{"hex float without exponent", "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 0x10\n"},
+		{"hex float with exponent", "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 0x1p-2\n"},
+		{"leading zero indices", "%%MatrixMarket matrix coordinate real general\n2 2 1\n01 02 3\n"},
+
+		{"empty", ""},
+		{"newline only", "\n"},
+		{"garbage header", "garbage\n1 1 1\n"},
+		{"six field header", "%%MatrixMarket matrix coordinate real general extra\n1 1 1\n1 1 1\n"},
+		{"four field header", "%%MatrixMarket matrix coordinate real\n1 1 1\n1 1 1\n"},
+		{"array container", "%%MatrixMarket matrix array real general\n1 1\n1\n"},
+		{"complex values", "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n"},
+		{"hermitian", "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n"},
+		{"header only", "%%MatrixMarket matrix coordinate real general\n"},
+		{"comments then eof", "%%MatrixMarket matrix coordinate real general\n% only comments\n"},
+		{"size line garbage", "%%MatrixMarket matrix coordinate real general\nx y z\n"},
+		{"size line trailing garbage", "%%MatrixMarket matrix coordinate real general\n3 3 4 extra\n1 1 1\n1 2 1\n2 1 1\n2 2 1\n"},
+		{"size line two fields", "%%MatrixMarket matrix coordinate real general\n3 3\n"},
+		{"size line hex", "%%MatrixMarket matrix coordinate real general\n0x2 2 1\n1 1 1\n"},
+		{"size line float", "%%MatrixMarket matrix coordinate real general\n2.0 2 1\n1 1 1\n"},
+		{"negative rows", "%%MatrixMarket matrix coordinate real general\n-2 2 1\n1 1 1\n"},
+		{"zero rows", "%%MatrixMarket matrix coordinate real general\n0 0 0\n"},
+		{"negative declared", "%%MatrixMarket matrix coordinate real general\n2 2 -1\n"},
+		{"adversarial declared", "%%MatrixMarket matrix coordinate real general\n1 1 4611686018427387903\n1 1 1\n"},
+		{"declared overflow", "%%MatrixMarket matrix coordinate real symmetric\n2 2 9223372036854775807\n1 1 1\n"},
+		{"index overflow", "%%MatrixMarket matrix coordinate real general\n2 2 1\n99999999999999999999 1 1\n"},
+		{"index int64 min", "%%MatrixMarket matrix coordinate real general\n2 2 1\n-9223372036854775808 1 1\n"},
+		{"out of range", "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 3 1\n"},
+		{"zero index", "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1\n"},
+		{"short entry", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n"},
+		{"short pattern entry", "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1\n"},
+		{"bad row index", "%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1\n"},
+		{"bad value", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n"},
+		{"count mismatch low", "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n"},
+		{"count mismatch high", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1\n2 2 1\n"},
+		{"asymmetric mirror out of range", "%%MatrixMarket matrix coordinate real symmetric\n2 3 1\n1 3 5\n"},
+
+		{"nbsp separator", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\u00a01\u00a02.5\n"},
+		{"nbsp in size line", "%%MatrixMarket matrix coordinate real general\n2\u00a02 1\n1 1 1\n"},
+		{"nbsp before comment", "%%MatrixMarket matrix coordinate real general\n\u00a0% comment\n2 2 1\n1 1 1\n"},
+		{"nbsp blank line", "%%MatrixMarket matrix coordinate real general\n\u00a0\n2 2 1\n1 1 1\n"},
+		{"next line separator", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\u00851\u00852.5\n"},
+		{"unicode in header", "%%MatrixMarket\u00a0matrix coordinate real general\n1 1 1\n1 1 1\n"},
+		{"trailing nbsp after value", "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 2.5\u00a0x\n"},
+		{"invalid utf8 byte", "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 2.5\xff\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkParsersAgree(t, tc.data) })
+	}
+}
+
+// TestReadMatrixMarketBytesRandomised cross-checks the parsers over
+// generated matrices with WriteMatrixMarket's own %.17g output — the
+// mantissa shapes the serve path actually receives.
+func TestReadMatrixMarketBytesRandomised(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		rows := 1 + rng.Intn(40)
+		cols := 1 + rng.Intn(40)
+		tr := NewTriplet(rows, cols)
+		nnz := rng.Intn(200)
+		for k := 0; k < nnz; k++ {
+			tr.Add(rng.Intn(rows), rng.Intn(cols), rng.NormFloat64()*math.Pow(10, float64(rng.Intn(9)-4)))
+		}
+		var sb strings.Builder
+		if err := WriteMatrixMarket(&sb, tr.ToCSR()); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		checkParsersAgree(t, sb.String())
+	}
+}
+
+// TestAdversarialSizeLineDoesNotPreallocate would OOM (or panic on the
+// overflowed doubling) before the reservation clamps landed; now both
+// parsers just report the count mismatch.
+func TestAdversarialSizeLineDoesNotPreallocate(t *testing.T) {
+	for _, data := range []string{
+		"%%MatrixMarket matrix coordinate real general\n1 1 4611686018427387903\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n1 1 9223372036854775807\n1 1 1\n",
+	} {
+		if _, err := ReadMatrixMarket(strings.NewReader(data)); err == nil {
+			t.Fatalf("streaming parser accepted %q", data)
+		}
+		if _, err := ReadMatrixMarketBytes([]byte(data)); err == nil {
+			t.Fatalf("bytes parser accepted %q", data)
+		}
+	}
+}
+
+// TestSizeLineTrailingGarbageRejected pins the strictness fix: the old
+// fmt.Sscan parse silently accepted extra tokens after the entry count.
+func TestSizeLineTrailingGarbageRejected(t *testing.T) {
+	data := "%%MatrixMarket matrix coordinate real general\n3 3 4 extra\n1 1 1\n1 2 1\n2 1 1\n2 2 1\n"
+	if _, err := ReadMatrixMarket(strings.NewReader(data)); err == nil {
+		t.Fatal("streaming parser accepted a size line with trailing garbage")
+	}
+	if _, err := ReadMatrixMarketBytes([]byte(data)); err == nil {
+		t.Fatal("bytes parser accepted a size line with trailing garbage")
+	}
+}
+
+// TestParseFloatBytesMatchesStrconv pins the hand-rolled float
+// tokenizer (Clinger fast path + Eisel-Lemire + strconv fallback) to
+// strconv.ParseFloat bit for bit across formatted corpora: uniform
+// mantissa bits, every %.17g/%g/%e shape, denormals, huge exponents.
+func TestParseFloatBytesMatchesStrconv(t *testing.T) {
+	check := func(s string) {
+		t.Helper()
+		want, werr := strconv.ParseFloat(s, 64)
+		got, gerr := parseFloatBytes([]byte(s))
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("verdicts differ on %q: strconv %v, parseFloatBytes %v", s, werr, gerr)
+		}
+		if werr == nil && math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("value differs on %q: strconv %x, parseFloatBytes %x",
+				s, math.Float64bits(want), math.Float64bits(got))
+		}
+	}
+	fixed := []string{
+		"0", "-0", "0.0", "1", "-1", "1e0", "1e-0", "9007199254740992", "9007199254740993",
+		"1.7976931348623157e308", "1.7976931348623159e308", "4.9e-324", "2.4e-324", "5e-324",
+		"2.2250738585072014e-308", "2.2250738585072011e-308", "1e309", "-1e309", "1e-400",
+		"0.3", "0.1", "0.2", "123456789012345678901234567890", "1e22", "1e23", "-1e22",
+		"9999999999999999999", "99999999999999999999", "1.00000000000000011102230246251565404236316680908203125",
+	}
+	for _, s := range fixed {
+		check(s)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 50000; i++ {
+		f := math.Float64frombits(rng.Uint64())
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		check(strconv.FormatFloat(f, 'g', 17, 64))
+		check(strconv.FormatFloat(f, 'g', -1, 64))
+		check(strconv.FormatFloat(f, 'e', 16, 64))
+	}
+	for i := 0; i < 50000; i++ {
+		f := rng.NormFloat64() * math.Pow(10, float64(rng.Intn(60)-30))
+		check(strconv.FormatFloat(f, 'g', 17, 64))
+	}
+}
+
+func buildParseBody(t testing.TB, entries int) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	rows, cols := 64, 64
+	tr := NewTriplet(rows, cols)
+	for k := 0; k < entries; k++ {
+		tr.Add(rng.Intn(rows), rng.Intn(cols), rng.NormFloat64())
+	}
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, tr.ToCSR()); err != nil {
+		t.Fatalf("building bench body: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestParseBytesScratchAllocs is the allocation-regression guard for the
+// pooled fast path: a warmed scratch parse allocates only the returned
+// CSR (struct + rowPtr + colIdx + vals), even with %.17g mantissas that
+// take the strconv fallback.
+func TestParseBytesScratchAllocs(t *testing.T) {
+	if obs.RaceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	body := buildParseBody(t, 400)
+	s := GetParseScratch()
+	defer PutParseScratch(s)
+	if _, err := ReadMatrixMarketBytesScratch(body, s); err != nil {
+		t.Fatalf("warm parse: %v", err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := ReadMatrixMarketBytesScratch(body, s); err != nil {
+			panic(err)
+		}
+	})
+	if allocs > 6 {
+		t.Fatalf("pooled parse allocates %.1f objects/op, want <= 6 (CSR struct + 3 arrays)", allocs)
+	}
+}
+
+func BenchmarkReadMatrixMarketStream(b *testing.B) {
+	body := buildParseBody(b, 4000)
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadMatrixMarket(bytes.NewReader(body)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadMatrixMarketBytes(b *testing.B) {
+	body := buildParseBody(b, 4000)
+	s := GetParseScratch()
+	defer PutParseScratch(s)
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadMatrixMarketBytesScratch(body, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -65,54 +65,8 @@ func (t *Triplet) Reserve(n int) {
 // per-row column sort, rather than a global comparison sort, so building
 // large collections stays cheap.
 func (t *Triplet) ToCSR() *CSR {
-	n := len(t.v)
-	// Counting sort by row into scratch arrays.
-	start := make([]int32, t.rows+1)
-	for _, r := range t.r {
-		start[r+1]++
-	}
-	for i := 0; i < t.rows; i++ {
-		start[i+1] += start[i]
-	}
-	pos := make([]int32, t.rows)
-	copy(pos, start[:t.rows])
-	cScratch := make([]int32, n)
-	vScratch := make([]float64, n)
-	for k := 0; k < n; k++ {
-		p := pos[t.r[k]]
-		pos[t.r[k]]++
-		cScratch[p] = t.c[k]
-		vScratch[p] = t.v[k]
-	}
-
-	rowPtr := make([]int32, t.rows+1)
-	colIdx := make([]int32, 0, n)
-	vals := make([]float64, 0, n)
-	for i := 0; i < t.rows; i++ {
-		lo, hi := int(start[i]), int(start[i+1])
-		seg := cScratch[lo:hi]
-		vseg := vScratch[lo:hi]
-		sortRow(seg, vseg)
-		// Merge duplicates and drop zeros.
-		for k := 0; k < len(seg); {
-			j := k + 1
-			sum := vseg[k]
-			for j < len(seg) && seg[j] == seg[k] {
-				sum += vseg[j]
-				j++
-			}
-			if sum != 0 {
-				colIdx = append(colIdx, seg[k])
-				vals = append(vals, sum)
-				rowPtr[i+1]++
-			}
-			k = j
-		}
-	}
-	for i := 0; i < t.rows; i++ {
-		rowPtr[i+1] += rowPtr[i]
-	}
-	return &CSR{rows: t.rows, cols: t.cols, rowPtr: rowPtr, colIdx: colIdx, vals: vals}
+	var s ParseScratch
+	return assembleCSR(t.rows, t.cols, t.r, t.c, t.v, &s)
 }
 
 // sortRow sorts one row's columns (and values in lockstep): insertion
