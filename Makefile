@@ -33,4 +33,12 @@ bench-serve:
 bench-parse:
 	go run ./cmd/spmvselect benchparse -out BENCH_parse.json
 
-.PHONY: check bench-obs bench-parallel bench-serve bench-parse
+# bench-fleet regenerates BENCH_fleet.json: the same request mix through
+# the consistent-hash proxy over one serial replica vs the full fleet,
+# hard-failing when any proxied answer differs byte-for-byte from a
+# direct replica answer, gated at 0.5x-per-replica scaling on hosts with
+# more cores than replicas (not-pathologically-slower elsewhere).
+bench-fleet:
+	go run ./cmd/spmvselect benchfleet -out BENCH_fleet.json
+
+.PHONY: check bench-obs bench-parallel bench-serve bench-parse bench-fleet

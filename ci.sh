@@ -23,7 +23,14 @@
 #                  served with stage metrics on /metrics, cascade
 #                  stats in /v1/admin/quality, feature-memo hit/miss
 #                  counters matching the request mix, and a capture
-#                  replayed with zero mismatches)
+#                  replayed with zero mismatches) + a fleet smoke test
+#                  (three replicas behind the consistent-hash proxy:
+#                  one replica SIGKILLed under load with zero
+#                  client-visible errors, admin fan-out aggregation,
+#                  the fleet monitor view, and a fleet-wide rollout
+#                  that pushes a candidate to every survivor's shadow
+#                  slot and promotes only after the whole fleet clears
+#                  the agreement threshold)
 #   bench          additionally regenerate BENCH_obs.json from an
 #                  instrumented paper-scale `table -n 9` run (minutes),
 #                  BENCH_parallel.json from `spmvselect benchpar`,
@@ -41,9 +48,15 @@
 #                  comparisons: calibrated agreement is always
 #                  enforced, the p50 wins only on hosts with
 #                  enough cores),
-#                  and BENCH_replay.json from `spmvselect benchreplay`
+#                  BENCH_replay.json from `spmvselect benchreplay`
 #                  (record/feedback/replay cycle; hard-fails when a
-#                  replayed prediction differs from the recording)
+#                  replayed prediction differs from the recording),
+#                  and BENCH_fleet.json from `spmvselect benchfleet`
+#                  (the same request mix through the proxy over one
+#                  replica vs the fleet; hard-fails when any proxied
+#                  answer differs byte-for-byte from a direct replica
+#                  answer, and on sub-gate scaling — near-linear with
+#                  enough cores, not-pathologically-slower otherwise)
 set -eu
 cd "$(dirname "$0")"
 
@@ -274,6 +287,85 @@ echo "$QUALITY" | grep -q '"window_size"' || { echo "ci: cascade graft broke the
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" || { echo 'ci: cascade serve did not exit cleanly on SIGTERM'; exit 1; }
 
+echo '== fleet smoke test (3 replicas + proxy, kill-one under load, fleet rollout)'
+# Three registry-backed replicas of the same model behind the proxy.
+# Registry backends are required: the fleet rollout pushes candidates
+# over /v1/admin/shadow/install, which static backends refuse.
+r=1
+while [ $r -le 3 ]; do
+	"$SMOKE/spmvselect" serve -models "turing=$SMOKE/model.gob" -admin-token "$ADMIN_TOKEN" \
+		-addr 127.0.0.1:0 -portfile "$SMOKE/fport$r" &
+	eval "R${r}_PID=\$!"
+	r=$((r+1))
+done
+r=1
+while [ $r -le 3 ]; do
+	i=0
+	while [ ! -s "$SMOKE/fport$r" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i+1)); done
+	[ -s "$SMOKE/fport$r" ] || { echo "ci: fleet replica $r never wrote its portfile"; exit 1; }
+	eval "R$r=\$(cat \"$SMOKE/fport$r\")"
+	r=$((r+1))
+done
+"$SMOKE/spmvselect" proxy -fleet "$R1,$R2,$R3" -addr 127.0.0.1:0 -portfile "$SMOKE/pport" \
+	-hedge-after 100ms -health-interval 500ms &
+PROXY_PID=$!
+i=0
+while [ ! -s "$SMOKE/pport" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i+1)); done
+[ -s "$SMOKE/pport" ] || { echo 'ci: proxy never wrote its portfile'; exit 1; }
+PADDR=$(cat "$SMOKE/pport")
+i=0
+until "$SMOKE/spmvselect" request -addr "$PADDR" -get /readyz >/dev/null 2>&1; do
+	sleep 0.1; i=$((i+1))
+	[ $i -lt 100 ] || { echo 'ci: proxy never became ready'; exit 1; }
+done
+# A routed prediction works and carries the serving model's hash.
+OUT=$("$SMOKE/spmvselect" request -addr "$PADDR" -mtx "$MTX")
+echo "$OUT" | grep -q '"format"' || { echo "ci: bad proxied prediction: $OUT"; exit 1; }
+# The admin fan-out aggregates every replica (all three must answer).
+SLO=$("$SMOKE/spmvselect" request -addr "$PADDR" -get /v1/admin/slo -token "$ADMIN_TOKEN")
+echo "$SLO" | grep -q '"fleet"' || { echo "ci: proxied SLO lacks the fleet aggregate: $SLO"; exit 1; }
+# monitor detects the proxy and requires its metric families.
+"$SMOKE/spmvselect" monitor -addr "$PADDR" -once | grep -q 'REPLICAS' \
+	|| { echo 'ci: monitor -once did not render the fleet view'; exit 1; }
+# 60 requests through the proxy; one replica is SIGKILLed mid-load.
+# Hedging plus transport-failure ejection must keep every answer 2xx —
+# zero client-visible errors is the whole point of the front door.
+i=0
+while [ $i -lt 60 ]; do
+	[ $i -eq 20 ] && kill -9 "$R3_PID"
+	if [ $((i % 2)) -eq 0 ]; then M=$MTX; else M=$MTX2; fi
+	"$SMOKE/spmvselect" request -addr "$PADDR" -mtx "$M" >/dev/null \
+		|| { echo "ci: client-visible error at proxied request $i after the kill"; exit 1; }
+	i=$((i+1))
+done
+sleep 1
+FLEET=$("$SMOKE/spmvselect" request -addr "$PADDR" -get /v1/fleet)
+echo "$FLEET" | grep -q '"replica_count":3' || { echo "ci: bad fleet status: $FLEET"; exit 1; }
+echo "$FLEET" | grep -q '"healthy_count":2' || { echo "ci: killed replica was not ejected: $FLEET"; exit 1; }
+# Fleet rollout over the two survivors: push a retrained candidate
+# (same config, different seed: different bytes, agreeing predictions),
+# observe shadow agreement on driven traffic, promote everywhere.
+"$SMOKE/spmvselect" train -save "$SMOKE/fleetcand.gob" -quick -clusters 16 -seed 7 >/dev/null
+"$SMOKE/spmvselect" export -dir "$SMOKE/fmtx" -count 8 -seed 12 >/dev/null
+HASH_BEFORE=$("$SMOKE/spmvselect" request -addr "$R1" -get /v1/model | grep -o '"hash":"[0-9a-f]*"' | head -n 1 | cut -d'"' -f4)
+ROLLOUT=$("$SMOKE/spmvselect" rollout -fleet "$R1,$R2" -artifact "$SMOKE/fleetcand.gob" -arch turing \
+	-token "$ADMIN_TOKEN" -min-scored 8 -drive "$SMOKE/fmtx" -q) \
+	|| { echo 'ci: fleet rollout failed'; exit 1; }
+CAND_HASH=$(echo "$ROLLOUT" | grep -o '"hash": *"[0-9a-f]*"' | head -n 1 | grep -o '[0-9a-f]*"$' | tr -d '"')
+[ -n "$CAND_HASH" ] || { echo "ci: rollout reported no hash: $ROLLOUT"; exit 1; }
+[ "$CAND_HASH" != "$HASH_BEFORE" ] || { echo 'ci: rollout candidate is the live model'; exit 1; }
+# Every surviving replica flipped to the candidate together.
+for R in "$R1" "$R2"; do
+	H=$("$SMOKE/spmvselect" request -addr "$R" -get /v1/model | grep -o '"hash":"[0-9a-f]*"' | head -n 1 | cut -d'"' -f4)
+	[ "$H" = "$CAND_HASH" ] || { echo "ci: replica $R serves $H after rollout, want $CAND_HASH"; exit 1; }
+done
+kill -TERM "$PROXY_PID"
+wait "$PROXY_PID" || { echo 'ci: proxy did not exit cleanly on SIGTERM'; exit 1; }
+kill -TERM "$R1_PID" "$R2_PID"
+wait "$R1_PID" || { echo 'ci: fleet replica 1 did not exit cleanly'; exit 1; }
+wait "$R2_PID" || { echo 'ci: fleet replica 2 did not exit cleanly'; exit 1; }
+wait "$R3_PID" 2>/dev/null || true
+
 if [ "${1:-}" = bench ]; then
 	echo '== regenerating BENCH_obs.json (instrumented table -n 9, paper scale)'
 	go run ./cmd/spmvselect table -n 9 -obs :0 -report BENCH_obs.json >/dev/null
@@ -286,6 +378,8 @@ if [ "${1:-}" = bench ]; then
 	go run ./cmd/spmvselect benchserve -out BENCH_serve.json
 	echo '== regenerating BENCH_replay.json (record/feedback/replay quality loop)'
 	go run ./cmd/spmvselect benchreplay -out BENCH_replay.json
+	echo '== regenerating BENCH_fleet.json (proxied 1-replica vs fleet throughput)'
+	go run ./cmd/spmvselect benchfleet -out BENCH_fleet.json
 fi
 
 echo 'ci: all checks passed'

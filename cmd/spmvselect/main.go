@@ -21,6 +21,17 @@
 //	                                      admin call) to a running serve
 //	spmvselect promote -addr HOST:PORT    flip an arch's shadow candidate to
 //	                                      live through the admin API
+//	spmvselect proxy -fleet H:P,H:P,...   front a fleet of serve replicas with
+//	                                      consistent-hash routing, health
+//	                                      ejection and hedged retries
+//	spmvselect rollout -fleet ... -artifact FILE
+//	                                      push a candidate to every replica's
+//	                                      shadow slot and promote fleet-wide
+//	                                      once all clear the agreement bar
+//	spmvselect benchfleet                 measure 1-replica vs N-replica
+//	                                      throughput through the proxy,
+//	                                      gating on byte-identical answers
+//	                                      (BENCH_fleet.json)
 //	spmvselect monitor -addr HOST:PORT    poll a running serve instance's
 //	                                      /metrics, SLO and drift endpoints and
 //	                                      render a terminal status table
@@ -93,6 +104,12 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "request":
 		err = cmdRequest(os.Args[2:])
+	case "proxy":
+		err = cmdProxy(os.Args[2:])
+	case "rollout":
+		err = cmdRollout(os.Args[2:])
+	case "benchfleet":
+		err = cmdBenchFleet(os.Args[2:])
 	case "promote":
 		err = cmdPromote(os.Args[2:])
 	case "monitor":
@@ -134,8 +151,13 @@ func usage() {
              [-admin-token T] [-addr :8080] [-portfile PATH] [-max-concurrent N] [-max-batch N]
              [-cache N] [-feat-memo N] [-timeout D] [-obs ADDR] [-access-log PATH] [-access-log-sample N]
              [-slo-target X] [-record DIR] [-record-max-mb N]
-  spmvselect request -addr HOST:PORT (-mtx FILE | -batch "f1,f2,..." | -features "v1,v2,..." | -get PATH | -post PATH [-json BODY]) [-arch A] [-token T] [-request-id ID]
+  spmvselect request -addr HOST:PORT (-mtx FILE | -batch "f1,f2,..." | -features "v1,v2,..." | -get PATH | -post PATH [-json BODY]) [-arch A] [-token T] [-request-id ID] [-timeout D] [-retries N]
   spmvselect promote -addr HOST:PORT -token T [-arch A]
+  spmvselect proxy -fleet "H:P,H:P,..." [-addr :8080] [-portfile PATH] [-vnodes N] [-timeout D]
+             [-hedge-after D] [-health-interval D] [-max-backoff D]
+  spmvselect rollout -fleet "H:P,..." -artifact FILE -token T [-arch A] [-threshold X] [-min-scored N]
+             [-drive DIR] [-timeout D] [-poll D] [-q]
+  spmvselect benchfleet [-replicas N] [-matrices N] [-rounds N] [-out PATH] [-min-speedup X]
   spmvselect monitor -addr HOST:PORT [-token T] [-interval D] [-once]
   spmvselect replay -dir DIR -addr HOST:PORT [-concurrency N] [-rate R] [-arch-skew "a=w,..."] [-out PATH]
   spmvselect benchserve [-matrices N] [-batch N] [-rounds N] [-out PATH] [-min-speedup X]

@@ -7,6 +7,11 @@ package main
 // status table per tick. With -once it takes a single sample and exits
 // non-zero when anything it needs is missing — the form ci.sh runs as a
 // telemetry smoke test.
+//
+// Pointed at a proxy instead of a single replica (detected by probing
+// /v1/fleet), the dashboard switches to the aggregated fleet view:
+// replica count, healthy/ejected split, ring size, hedge rate, and one
+// row per replica. -once then checks the proxy's own metric families.
 
 import (
 	"encoding/json"
@@ -20,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/proxy"
 	"repro/internal/registry"
 )
 
@@ -30,6 +36,9 @@ type monitorSample struct {
 	metrics *obs.PromMetrics
 	slo     *obs.SLOReport
 	drift   *registry.DriftReportData
+	// fleet is non-nil when the target is a proxy (it answered
+	// /v1/fleet); the dashboard then renders the fleet view.
+	fleet *proxy.FleetStatus
 }
 
 func cmdMonitor(args []string) error {
@@ -63,11 +72,16 @@ func cmdMonitor(args []string) error {
 			// One-shot smoke mode: the server must be ready (a reachable
 			// but 503 /readyz is a failure, not a dashboard state) and,
 			// beyond fetching and parsing, the core request-telemetry
-			// families must actually be exposed.
+			// families must actually be exposed. Against a proxy the
+			// required families are the proxy's own.
 			if !cur.ready {
 				return fmt.Errorf("monitor: %s is not ready (/readyz answered non-200)", *addr)
 			}
-			for _, fam := range []string{"spmvselect_serve_http_seconds", "spmvselect_serve_http_requests_total", "spmvselect_slo_availability"} {
+			need := []string{"spmvselect_serve_http_seconds", "spmvselect_serve_http_requests_total", "spmvselect_slo_availability"}
+			if cur.fleet != nil {
+				need = []string{"spmvselect_proxy_requests_total", "spmvselect_proxy_request_seconds", "spmvselect_proxy_replica_healthy"}
+			}
+			for _, fam := range need {
 				if _, ok := cur.metrics.Types[fam]; !ok {
 					return fmt.Errorf("monitor: /metrics is missing the %s family", fam)
 				}
@@ -84,7 +98,25 @@ func cmdMonitor(args []string) error {
 func pollServer(client *http.Client, addr, token string) (*monitorSample, error) {
 	s := &monitorSample{when: time.Now()}
 
-	resp, err := client.Get("http://" + addr + "/readyz")
+	// A proxy answers /v1/fleet with its aggregate status; a serve
+	// replica 404s it. An unreachable target is an error either way.
+	resp, err := client.Get("http://" + addr + "/v1/fleet")
+	if err != nil {
+		return nil, fmt.Errorf("polling /v1/fleet: %w", err)
+	}
+	if resp.StatusCode == http.StatusOK {
+		var fl proxy.FleetStatus
+		err := json.NewDecoder(resp.Body).Decode(&fl)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("decoding /v1/fleet: %w", err)
+		}
+		s.fleet = &fl
+	} else {
+		resp.Body.Close()
+	}
+
+	resp, err = client.Get("http://" + addr + "/readyz")
 	if err != nil {
 		return nil, fmt.Errorf("polling /readyz: %w", err)
 	}
@@ -105,7 +137,10 @@ func pollServer(client *http.Client, addr, token string) (*monitorSample, error)
 		return nil, fmt.Errorf("parsing /metrics: %w", err)
 	}
 
-	if token != "" {
+	// The proxy's admin endpoints fan out and return per-replica
+	// envelopes, not the single-server report shapes; the fleet panel
+	// already carries the aggregate, so skip them in proxy mode.
+	if token != "" && s.fleet == nil {
 		var slo obs.SLOReport
 		if err := getJSON(client, addr, "/v1/admin/slo", token, &slo); err != nil {
 			return nil, err
@@ -161,9 +196,18 @@ func renderMonitor(w *os.File, addr string, prev, cur *monitorSample) {
 	if cur.ready {
 		status = "ready"
 	}
-	fmt.Fprintf(w, "\n%s  %s  [%s]\n", cur.when.Format("15:04:05"), addr, status)
+	mode := ""
+	if cur.fleet != nil {
+		mode = "  proxy"
+	}
+	fmt.Fprintf(w, "\n%s  %s%s  [%s]\n", cur.when.Format("15:04:05"), addr, mode, status)
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+
+	if cur.fleet != nil {
+		renderFleet(tw, prev, cur)
+		return
+	}
 
 	// Predictions per arch, with a rate when a previous sample exists.
 	curBy := predictionsByArch(cur.metrics)
@@ -217,6 +261,40 @@ func renderMonitor(w *os.File, addr string, prev, cur *monitorSample) {
 		}
 		tw.Flush()
 	}
+}
+
+// renderFleet draws the aggregated fleet view of a proxy target: the
+// headline counters with a request rate differenced between polls,
+// then one row per replica.
+func renderFleet(tw *tabwriter.Writer, prev, cur *monitorSample) {
+	fl := cur.fleet
+	rate := "-"
+	if prev != nil && prev.fleet != nil {
+		if dt := cur.when.Sub(prev.when).Seconds(); dt > 0 {
+			rate = fmt.Sprintf("%.1f/s", float64(fl.Requests-prev.fleet.Requests)/dt)
+		}
+	}
+	fmt.Fprintln(tw, "REPLICAS\tHEALTHY\tEJECTED\tRING\tREQS\tRATE\tERRS\tHEDGE RATE\tRETRIES")
+	fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%s\t%d\t%.3f\t%d\n",
+		fl.ReplicaCount, fl.HealthyCount, fl.ReplicaCount-fl.HealthyCount, fl.RingSize,
+		fl.Requests, rate, fl.Errors, fl.HedgeRate, fl.Retries)
+	tw.Flush()
+
+	fmt.Fprintln(tw, "\nREPLICA\tSTATE\tEJECTIONS\tLAST ERROR")
+	for _, r := range fl.Replicas {
+		state := "healthy"
+		if !r.Healthy {
+			state = "EJECTED"
+		}
+		lastErr := r.LastError
+		if lastErr == "" {
+			lastErr = "-"
+		} else if len(lastErr) > 60 {
+			lastErr = lastErr[:57] + "..."
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\n", r.Addr, state, r.Ejections, lastErr)
+	}
+	tw.Flush()
 }
 
 func fmtLatency(seconds float64) string {

@@ -8,12 +8,14 @@ package main
 // promote flips a shadow candidate to live through the admin API.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
@@ -347,7 +349,8 @@ func cmdRequest(args []string) error {
 	jsonBody := fs.String("json", "", "JSON body sent with -post as application/json (e.g. a /v1/feedback report)")
 	token := fs.String("token", "", "bearer token sent as Authorization (for /v1/admin/*)")
 	requestID := fs.String("request-id", "", "send this X-Request-ID so the call is findable in the server's access log")
-	timeout := fs.Duration("timeout", 30*time.Second, "request timeout")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-attempt request timeout")
+	retries := fs.Int("retries", 0, "retry transport failures and 502/503/504 up to N times with jittered exponential backoff")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -416,7 +419,7 @@ func cmdRequest(args []string) error {
 			contentType, body = "application/json", strings.NewReader(*jsonBody)
 		}
 	}
-	return doRequestID(method, *addr, path, contentType, *token, *requestID, body, *timeout)
+	return doRequestRetry(method, *addr, path, contentType, *token, *requestID, body, *timeout, *retries)
 }
 
 // doRequest performs one HTTP exchange against a serve instance,
@@ -426,32 +429,76 @@ func doRequest(method, addr, path, contentType, token string, body io.Reader, ti
 }
 
 func doRequestID(method, addr, path, contentType, token, requestID string, body io.Reader, timeout time.Duration) error {
-	req, err := http.NewRequest(method, "http://"+addr+path, body)
-	if err != nil {
-		return err
-	}
-	if contentType != "" {
-		req.Header.Set("Content-Type", contentType)
-	}
-	if token != "" {
-		req.Header.Set("Authorization", "Bearer "+token)
-	}
-	if requestID != "" {
-		req.Header.Set("X-Request-ID", requestID)
+	return doRequestRetry(method, addr, path, contentType, token, requestID, body, timeout, 0)
+}
+
+// doRequestRetry is doRequestID with a retry budget against transient
+// failures: transport errors (a draining or restarting replica) and
+// 502/503/504 answers (the proxy or a replica shedding load). The body
+// is buffered up front so every attempt replays identical bytes, and
+// only the final attempt's response reaches stdout. Backoff is
+// exponential from 100ms with ±50% jitter so concurrent CLI loops do
+// not reconverge on the same instant.
+func doRequestRetry(method, addr, path, contentType, token, requestID string, body io.Reader, timeout time.Duration, retries int) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = io.ReadAll(body); err != nil {
+			return err
+		}
 	}
 	client := &http.Client{Timeout: timeout}
-	resp, err := client.Do(req)
-	if err != nil {
-		return err
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			base := 100 * time.Millisecond * (1 << (attempt - 1))
+			jitter := time.Duration(rand.Int63n(int64(base))) - base/2
+			time.Sleep(base + jitter)
+		}
+		var reqBody io.Reader
+		if payload != nil {
+			reqBody = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequest(method, "http://"+addr+path, reqBody)
+		if err != nil {
+			return err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		if requestID != "" {
+			req.Header.Set("X-Request-ID", requestID)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		respBody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		retryable := resp.StatusCode == http.StatusBadGateway ||
+			resp.StatusCode == http.StatusServiceUnavailable ||
+			resp.StatusCode == http.StatusGatewayTimeout
+		if retryable && attempt < retries {
+			lastErr = fmt.Errorf("request: server answered %s", resp.Status)
+			continue
+		}
+		if _, err := os.Stdout.Write(respBody); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("request: server answered %s", resp.Status)
+		}
+		return nil
 	}
-	defer resp.Body.Close()
-	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("request: server answered %s", resp.Status)
-	}
-	return nil
+	return fmt.Errorf("request: all %d attempts failed: %w", retries+1, lastErr)
 }
 
 // cmdPromote flips an arch's shadow candidate to live through the

@@ -1,0 +1,832 @@
+package proxy
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/registry"
+)
+
+// Config tunes the fleet front door. The zero value (plus Replicas)
+// selects production defaults.
+type Config struct {
+	// Replicas are the serve instances behind the proxy (host:port).
+	Replicas []string
+	// Vnodes is the consistent-hash virtual-node count per replica
+	// (default 64).
+	Vnodes int
+	// Timeout bounds one client request end to end, every hedge and
+	// retry included (default 30s).
+	Timeout time.Duration
+	// HedgeAfter is how long the primary replica may sit on a
+	// prediction before the proxy races a second attempt against the
+	// next replica on the ring (default 250ms; <= 0 keeps the default —
+	// hedging is the point of the tier). One hedge per request.
+	HedgeAfter time.Duration
+	// HealthInterval spaces the active /readyz probes (default 1s).
+	HealthInterval time.Duration
+	// MaxBackoff caps the readmit-probe backoff for ejected replicas
+	// (default 15s).
+	MaxBackoff time.Duration
+	// MaxBodyBytes bounds the request body the proxy will buffer for
+	// hedging (default 64 MiB, matching serve).
+	MaxBodyBytes int64
+	// PendingFeedback bounds the request-ID -> replica table that
+	// routes /v1/feedback to the replica that answered the prediction
+	// (default 8192 entries, FIFO eviction).
+	PendingFeedback int
+	// Client overrides the forwarding HTTP client (tests); nil builds
+	// one with sane connection pooling.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Vnodes <= 0 {
+		c.Vnodes = defaultVnodes
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.HedgeAfter <= 0 {
+		c.HedgeAfter = 250 * time.Millisecond
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 15 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.PendingFeedback <= 0 {
+		c.PendingFeedback = 8192
+	}
+	return c
+}
+
+// Proxy is the HTTP front door over a fleet of serve replicas:
+//
+//	GET  /healthz              the proxy's own liveness
+//	GET  /readyz               fleet readiness: 200 while >= 1 replica
+//	                           is healthy, body is the fleet status
+//	GET  /v1/fleet             fleet status (replicas, ring, hedges)
+//	GET  /metrics              the proxy's own Prometheus exposition
+//	GET  /v1/model             forwarded to the arch's ring owner
+//	POST /v1/predict/matrix    consistent-hashed on the body, hedged
+//	POST /v1/predict/features  consistent-hashed on the body, hedged
+//	POST /v1/predict/batch     consistent-hashed on the body, hedged
+//	POST /v1/feedback          routed to the replica that served the
+//	                           prediction (by X-Request-ID), never
+//	                           hedged — outcomes are consume-once
+//	GET  /v1/admin/slo         per-replica reports + fleet totals
+//	GET  /v1/admin/quality     per-replica reports + fleet totals
+//	GET  /v1/admin/shadow      per-replica reports + fleet agreement
+//
+// Prediction requests hash on the request body's content (the same
+// identity serve's prediction LRU and feature memo key on), so a
+// repeated matrix always lands on the replica whose caches are hot for
+// it; requests with no body route by arch. The admin fan-outs forward
+// the client's Authorization header verbatim — the proxy holds no
+// tokens of its own.
+//
+// Metrics, in the shared obs registry:
+//
+//	proxy/requests            counter    client requests accepted
+//	proxy/errors              counter    client requests answered >= 500
+//	proxy/hedges              counter    hedge attempts launched
+//	proxy/hedge_wins          counter    requests answered by the hedge
+//	proxy/retries             counter    failover retries after a failed attempt
+//	proxy/ejections           counter    healthy -> ejected transitions
+//	proxy/readmits            counter    ejected -> healthy transitions
+//	proxy/ring/size           gauge      replicas currently in the ring
+//	proxy/request/seconds     histogram  end-to-end proxied latency
+//	proxy/replica/requests{replica}  counter  attempts forwarded per replica
+//	proxy/replica/errors{replica}    counter  failed attempts per replica
+//	proxy/replica/healthy{replica}   gauge    1 while the replica is in the ring
+//	proxy/replica/ejections{replica} counter  ejections per replica
+type Proxy struct {
+	cfg      Config
+	ring     *Ring
+	replicas map[string]*replica
+	order    []string // fleet in configured order, for stable listings
+	client   *http.Client
+	routes   *routeTable
+	started  time.Time
+
+	requests  *obs.Counter
+	errors    *obs.Counter
+	hedges    *obs.Counter
+	hedgeWins *obs.Counter
+	retries   *obs.Counter
+	ejections *obs.Counter
+	readmits  *obs.Counter
+	ringSize  *obs.Gauge
+	latency   *obs.Histogram
+
+	replicaReqs    *obs.CounterVec
+	replicaErrs    *obs.CounterVec
+	replicaHealthy *obs.GaugeVec
+	replicaEject   *obs.CounterVec
+}
+
+// New builds the front door. Replicas start outside the ring and join
+// on their first passing health probe, so a proxy started before its
+// fleet converges on its own.
+func New(cfg Config) (*Proxy, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("proxy: no replicas configured")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	p := &Proxy{
+		cfg:      cfg,
+		ring:     NewRing(cfg.Vnodes),
+		replicas: map[string]*replica{},
+		client:   client,
+		routes:   newRouteTable(cfg.PendingFeedback),
+		started:  time.Now(),
+
+		requests:  obs.Default.Counter("proxy/requests"),
+		errors:    obs.Default.Counter("proxy/errors"),
+		hedges:    obs.Default.Counter("proxy/hedges"),
+		hedgeWins: obs.Default.Counter("proxy/hedge_wins"),
+		retries:   obs.Default.Counter("proxy/retries"),
+		ejections: obs.Default.Counter("proxy/ejections"),
+		readmits:  obs.Default.Counter("proxy/readmits"),
+		ringSize:  obs.Default.Gauge("proxy/ring/size"),
+		latency:   obs.Default.Histogram("proxy/request/seconds", obs.DurationBuckets),
+
+		replicaReqs:    obs.Default.CounterVec("proxy/replica/requests", "replica"),
+		replicaErrs:    obs.Default.CounterVec("proxy/replica/errors", "replica"),
+		replicaHealthy: obs.Default.GaugeVec("proxy/replica/healthy", "replica"),
+		replicaEject:   obs.Default.CounterVec("proxy/replica/ejections", "replica"),
+	}
+	for _, addr := range cfg.Replicas {
+		if addr == "" {
+			return nil, fmt.Errorf("proxy: empty replica address")
+		}
+		if _, dup := p.replicas[addr]; dup {
+			return nil, fmt.Errorf("proxy: replica %s configured twice", addr)
+		}
+		p.replicas[addr] = &replica{addr: addr}
+		p.order = append(p.order, addr)
+		p.replicaHealthy.With(addr).Set(0)
+	}
+	return p, nil
+}
+
+// FleetStatus is the /v1/fleet (and /readyz) body.
+type FleetStatus struct {
+	// Ready is true while at least one replica is healthy.
+	Ready         bool    `json:"ready"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	ReplicaCount  int     `json:"replica_count"`
+	HealthyCount  int     `json:"healthy_count"`
+	RingSize      int     `json:"ring_size"`
+	Requests      int64   `json:"requests"`
+	Errors        int64   `json:"errors"`
+	Hedges        int64   `json:"hedges"`
+	HedgeWins     int64   `json:"hedge_wins"`
+	Retries       int64   `json:"retries"`
+	Ejections     int64   `json:"ejections"`
+	Readmits      int64   `json:"readmits"`
+	// HedgeRate is Hedges/Requests (0 on no traffic).
+	HedgeRate float64         `json:"hedge_rate"`
+	Replicas  []ReplicaStatus `json:"replicas"`
+}
+
+// Fleet snapshots the fleet view.
+func (p *Proxy) Fleet() FleetStatus {
+	st := FleetStatus{
+		UptimeSeconds: time.Since(p.started).Seconds(),
+		ReplicaCount:  len(p.order),
+		RingSize:      p.ring.Size(),
+		Requests:      p.requests.Value(),
+		Errors:        p.errors.Value(),
+		Hedges:        p.hedges.Value(),
+		HedgeWins:     p.hedgeWins.Value(),
+		Retries:       p.retries.Value(),
+		Ejections:     p.ejections.Value(),
+		Readmits:      p.readmits.Value(),
+	}
+	if st.Requests > 0 {
+		st.HedgeRate = float64(st.Hedges) / float64(st.Requests)
+	}
+	for _, addr := range p.order {
+		rs := p.replicaStatus(p.replicas[addr])
+		if rs.Healthy {
+			st.HealthyCount++
+		}
+		st.Replicas = append(st.Replicas, rs)
+	}
+	st.Ready = st.HealthyCount > 0
+	return st
+}
+
+// Handler returns the proxy's HTTP handler.
+func (p *Proxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		st := p.Fleet()
+		status := http.StatusOK
+		if !st.Ready {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, st)
+	})
+	mux.HandleFunc("/v1/fleet", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, p.Fleet())
+	})
+	mux.Handle("/metrics", obs.PromHandler(obs.Default))
+	mux.HandleFunc("/v1/model", p.handleByArch)
+	mux.HandleFunc("/v1/predict/matrix", p.handlePredict)
+	mux.HandleFunc("/v1/predict/features", p.handlePredict)
+	mux.HandleFunc("/v1/predict/batch", p.handlePredict)
+	mux.HandleFunc("/v1/feedback", p.handleFeedback)
+	mux.HandleFunc("/v1/admin/slo", p.handleFanout)
+	mux.HandleFunc("/v1/admin/quality", p.handleFanout)
+	mux.HandleFunc("/v1/admin/shadow", p.handleFanout)
+	return mux
+}
+
+// Run serves the front door on addr until ctx is cancelled, starting
+// the health loop and blocking until shutdown. ready, when non-nil,
+// receives the bound address (how callers learn the port of ":0"). An
+// initial synchronous CheckAll seeds the ring before the listener
+// accepts, so the first request never races an empty ring against
+// healthy replicas.
+func (p *Proxy) Run(ctx context.Context, addr string, ready func(bound string)) error {
+	p.CheckAll(ctx)
+	hctx, hcancel := context.WithCancel(ctx)
+	defer hcancel()
+	go p.healthLoop(hctx)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("proxy: listening on %s: %w", addr, err)
+	}
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	srv := &http.Server{
+		Handler:           p.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       p.cfg.Timeout,
+		WriteTimeout:      p.cfg.Timeout + p.cfg.HedgeAfter,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return fmt.Errorf("proxy: %w", err)
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("proxy: shutdown: %w", err)
+	}
+	return nil
+}
+
+// proxied is one fully buffered upstream response. Responses are small
+// JSON documents (predictions, reports), so buffering them decouples
+// hedge cancellation from the client copy.
+type proxied struct {
+	status int
+	header http.Header
+	body   []byte
+	addr   string
+	hedged bool
+}
+
+// attemptResult is one upstream attempt's outcome.
+type attemptResult struct {
+	proxied
+	err error
+}
+
+// handlePredict routes one prediction request: consistent-hash on the
+// body content (the identity the replica caches key on), forward to
+// the ring owner, hedge onto the next distinct replica when the owner
+// is slow, fail over when an attempt dies.
+func (p *Proxy) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "use POST"})
+		return
+	}
+	p.requests.Inc()
+	start := time.Now()
+	defer func() { p.latency.Observe(time.Since(start).Seconds()) }()
+
+	body, err := p.readBody(w, r)
+	if err != nil {
+		return // readBody already answered
+	}
+	key := routeKey(body, r.URL.Query().Get("arch"))
+	res, ferr := p.forward(r, body, key, true)
+	if ferr != nil {
+		p.errors.Inc()
+		writeJSON(w, http.StatusBadGateway, errorBody{Error: "fleet: " + ferr.Error()})
+		return
+	}
+	if res.status >= 500 {
+		p.errors.Inc()
+	}
+	// Remember which replica answered, so a later /v1/feedback carrying
+	// this X-Request-ID lands on the replica holding the pending entry.
+	if id := res.header.Get("X-Request-ID"); id != "" && res.status == http.StatusOK {
+		p.routes.put(id, res.addr)
+	}
+	p.copyResponse(w, res)
+}
+
+// handleByArch routes body-less endpoints (/v1/model) by arch: the
+// same replica that owns the arch's keyspace fallback answers, so
+// repeated fleet-status scripts see a stable view.
+func (p *Proxy) handleByArch(w http.ResponseWriter, r *http.Request) {
+	p.requests.Inc()
+	key := "arch:" + r.URL.Query().Get("arch")
+	res, ferr := p.forward(r, nil, key, true)
+	if ferr != nil {
+		p.errors.Inc()
+		writeJSON(w, http.StatusBadGateway, errorBody{Error: "fleet: " + ferr.Error()})
+		return
+	}
+	if res.status >= 500 {
+		p.errors.Inc()
+	}
+	p.copyResponse(w, res)
+}
+
+// handleFeedback forwards one feedback report to the replica that
+// served the prediction it references. Feedback is consume-once on the
+// replica, so it is never hedged or retried — a duplicate delivery
+// would burn the join key and 404.
+func (p *Proxy) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "use POST"})
+		return
+	}
+	p.requests.Inc()
+	body, err := p.readBody(w, r)
+	if err != nil {
+		return
+	}
+	var ref struct {
+		RequestID string `json:"request_id"`
+	}
+	if err := json.Unmarshal(body, &ref); err != nil || ref.RequestID == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "feedback needs a request_id"})
+		return
+	}
+	addr, ok := p.routes.get(ref.RequestID)
+	if !ok {
+		writeJSON(w, http.StatusNotFound,
+			errorBody{Error: "unknown request_id (prediction not served through this proxy, or evicted)"})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), p.cfg.Timeout)
+	defer cancel()
+	res := p.attempt(ctx, r, addr, body, false)
+	if res.err != nil {
+		p.errors.Inc()
+		writeJSON(w, http.StatusBadGateway, errorBody{Error: res.err.Error()})
+		return
+	}
+	if res.status >= 500 {
+		p.errors.Inc()
+	}
+	p.copyResponse(w, res.proxied)
+}
+
+// forward answers one request through the ring with hedging and
+// failover: launch the owner, race a hedge after HedgeAfter, fail over
+// to the next distinct replica on a dead attempt, first success wins.
+// A non-nil error means no attempt produced an HTTP response at all —
+// a returned proxied may still carry a 5xx every replica agreed on,
+// which forwards to the client as-is.
+func (p *Proxy) forward(r *http.Request, body []byte, key string, allowHedge bool) (proxied, error) {
+	targets := p.ring.LookupN(key, 2)
+	if len(targets) == 0 {
+		return proxied{}, fmt.Errorf("no healthy replicas (fleet of %d, all ejected)", len(p.order))
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), p.cfg.Timeout)
+	defer cancel()
+
+	resc := make(chan attemptResult, len(targets))
+	launched := 0
+	launch := func(hedged bool) {
+		addr := targets[launched]
+		launched++
+		go func() {
+			resc <- p.attempt(ctx, r, addr, body, hedged)
+		}()
+	}
+	launch(false)
+
+	var hedgeC <-chan time.Time
+	if allowHedge && len(targets) > 1 {
+		timer := time.NewTimer(p.cfg.HedgeAfter)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+
+	outstanding := 1
+	var lastBad *proxied
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return proxied{}, fmt.Errorf("fleet timeout after %s: %w", p.cfg.Timeout, ctx.Err())
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < len(targets) {
+				p.hedges.Inc()
+				launch(true)
+				outstanding++
+			}
+		case res := <-resc:
+			outstanding--
+			switch {
+			case res.err != nil:
+				// Transport-level death: eject now so the ring stops
+				// offering this replica before the next health tick.
+				p.noteTransportFailure(res.addr, res.err)
+				lastErr = res.err
+			case retryable(res.status):
+				lastBad = &res.proxied
+			default:
+				if res.hedged {
+					p.hedgeWins.Inc()
+				}
+				return res.proxied, nil
+			}
+			// The attempt failed. Fail over to the next untried replica;
+			// once every target has been tried and answered, surface the
+			// least-bad outcome.
+			if launched < len(targets) {
+				p.retries.Inc()
+				launch(false)
+				outstanding++
+			} else if outstanding == 0 {
+				if lastBad != nil {
+					return *lastBad, nil
+				}
+				return proxied{}, lastErr
+			}
+		}
+	}
+}
+
+// retryable marks upstream statuses worth another replica: transient
+// server-side failures. 501 (static backend, by design) and every 4xx
+// (the request itself is wrong — another replica hosting the same
+// artifacts answers identically) forward as-is.
+func retryable(status int) bool {
+	return status >= 500 && status != http.StatusNotImplemented
+}
+
+// attempt forwards the request to one replica and buffers the answer.
+func (p *Proxy) attempt(ctx context.Context, r *http.Request, addr string, body []byte, hedged bool) attemptResult {
+	p.replicaReqs.With(addr).Inc()
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, "http://"+addr+r.URL.RequestURI(), reader)
+	if err != nil {
+		p.replicaErrs.With(addr).Inc()
+		return attemptResult{proxied: proxied{addr: addr, hedged: hedged}, err: err}
+	}
+	copyHeader(req.Header, r.Header, "Content-Type", "Authorization", "X-Request-ID", "Accept")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.replicaErrs.With(addr).Inc()
+		return attemptResult{proxied: proxied{addr: addr, hedged: hedged}, err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, p.cfg.MaxBodyBytes+1))
+	if err != nil {
+		p.replicaErrs.With(addr).Inc()
+		return attemptResult{proxied: proxied{addr: addr, hedged: hedged}, err: err}
+	}
+	if resp.StatusCode >= 500 {
+		p.replicaErrs.With(addr).Inc()
+	}
+	return attemptResult{proxied: proxied{
+		status: resp.StatusCode,
+		header: resp.Header.Clone(),
+		body:   data,
+		addr:   addr,
+		hedged: hedged,
+	}}
+}
+
+// copyResponse relays a buffered upstream answer to the client,
+// stamping which replica won.
+func (p *Proxy) copyResponse(w http.ResponseWriter, res proxied) {
+	for _, k := range []string{"Content-Type", "X-Request-ID", "X-Model-Hash", "WWW-Authenticate", "Allow"} {
+		if v := res.header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.Header().Set("X-Proxy-Replica", res.addr)
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// readBody buffers the (bounded) request body; hedging needs a
+// replayable copy. A nil return means the response is already written.
+func (p *Proxy) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, p.cfg.MaxBodyBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "reading request body: " + err.Error()})
+		return nil, err
+	}
+	if int64(len(body)) > p.cfg.MaxBodyBytes {
+		err := fmt.Errorf("request body exceeds %d bytes", p.cfg.MaxBodyBytes)
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: err.Error()})
+		return nil, err
+	}
+	return body, nil
+}
+
+// routeKey is the consistent-hash identity of one prediction request:
+// the body's content hash — the same bytes serve keys its caches on —
+// with the arch as the fallback for empty bodies.
+func routeKey(body []byte, arch string) string {
+	if len(body) == 0 {
+		return "arch:" + arch
+	}
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:16])
+}
+
+// ---------------------------------------------------------------------
+// Admin fan-out.
+
+// fanoutResponse is the aggregated admin answer: every replica's raw
+// report side by side, transport failures called out, and a fleet
+// summary where the path has a natural one.
+type fanoutResponse struct {
+	Path     string                     `json:"path"`
+	Replicas map[string]json.RawMessage `json:"replicas"`
+	Failed   map[string]string          `json:"failed,omitempty"`
+	Fleet    any                        `json:"fleet,omitempty"`
+}
+
+// handleFanout GETs the same admin path from every configured replica
+// in parallel (ejected ones included — telemetry about a sick replica
+// is the interesting kind), forwarding the client's Authorization
+// header verbatim, and aggregates the fleet view.
+func (p *Proxy) handleFanout(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "use GET"})
+		return
+	}
+	p.requests.Inc()
+	ctx, cancel := context.WithTimeout(r.Context(), p.cfg.Timeout)
+	defer cancel()
+
+	type part struct {
+		addr   string
+		status int
+		body   []byte
+		err    error
+	}
+	parts := make([]part, len(p.order))
+	var wg sync.WaitGroup
+	for i, addr := range p.order {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			res := p.attempt(ctx, r, addr, nil, false)
+			parts[i] = part{addr: addr, status: res.status, body: res.body, err: res.err}
+		}(i, addr)
+	}
+	wg.Wait()
+
+	out := fanoutResponse{Path: r.URL.Path, Replicas: map[string]json.RawMessage{}}
+	worst := http.StatusOK
+	for _, pt := range parts {
+		if pt.err != nil {
+			if out.Failed == nil {
+				out.Failed = map[string]string{}
+			}
+			out.Failed[pt.addr] = pt.err.Error()
+			continue
+		}
+		if json.Valid(pt.body) {
+			out.Replicas[pt.addr] = json.RawMessage(pt.body)
+		} else {
+			raw, _ := json.Marshal(string(pt.body))
+			out.Replicas[pt.addr] = raw
+		}
+		// A replica refusing auth fails the whole aggregate: partial
+		// admin views hide exactly the replica you are debugging.
+		if pt.status > worst {
+			worst = pt.status
+		}
+	}
+	if len(out.Replicas) == 0 && len(out.Failed) > 0 {
+		writeJSON(w, http.StatusBadGateway, out)
+		return
+	}
+	if worst == http.StatusOK {
+		out.Fleet = p.summarize(r.URL.Path, out.Replicas)
+	}
+	writeJSON(w, worst, out)
+}
+
+// fleetSLOWindow is one aggregated SLO window: request and error
+// totals across the fleet with the combined availability.
+type fleetSLOWindow struct {
+	Window       string  `json:"window"`
+	Requests     int64   `json:"requests"`
+	Errors       int64   `json:"errors"`
+	Availability float64 `json:"availability"`
+}
+
+// fleetShadowSummary aggregates the shadow reports: totals plus the
+// minimum per-replica agreement — the number a fleet rollout gates on,
+// because promotion is only safe when the weakest replica agrees.
+type fleetShadowSummary struct {
+	Scored       int64   `json:"scored"`
+	Disagree     int64   `json:"disagree"`
+	MinAgreement float64 `json:"min_agreement"`
+	Replicas     int     `json:"replicas"`
+}
+
+// fleetQualitySummary aggregates the measured-quality reports.
+type fleetQualitySummary struct {
+	Accepted   int64 `json:"accepted"`
+	Samples    int64 `json:"samples"`
+	ServedOnly int64 `json:"served_only"`
+}
+
+// summarize computes the per-path fleet rollup from the raw replica
+// reports. Unknown paths (or undecodable reports) summarize to nil —
+// the raw per-replica view is still there.
+func (p *Proxy) summarize(path string, replicas map[string]json.RawMessage) any {
+	addrs := make([]string, 0, len(replicas))
+	for a := range replicas {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	switch path {
+	case "/v1/admin/slo":
+		byWindow := map[string]*fleetSLOWindow{}
+		var order []string
+		for _, a := range addrs {
+			var rep obs.SLOReport
+			if json.Unmarshal(replicas[a], &rep) != nil {
+				return nil
+			}
+			for _, win := range rep.Windows {
+				fw := byWindow[win.Window]
+				if fw == nil {
+					fw = &fleetSLOWindow{Window: win.Window}
+					byWindow[win.Window] = fw
+					order = append(order, win.Window)
+				}
+				fw.Requests += win.Requests
+				fw.Errors += win.Errors
+			}
+		}
+		out := make([]fleetSLOWindow, 0, len(order))
+		for _, wname := range order {
+			fw := byWindow[wname]
+			fw.Availability = 1
+			if fw.Requests > 0 {
+				fw.Availability = 1 - float64(fw.Errors)/float64(fw.Requests)
+			}
+			out = append(out, *fw)
+		}
+		return map[string]any{"windows": out}
+	case "/v1/admin/shadow":
+		sum := fleetShadowSummary{MinAgreement: 1, Replicas: len(addrs)}
+		sawPair := false
+		for _, a := range addrs {
+			var rep registry.ShadowReportData
+			if json.Unmarshal(replicas[a], &rep) != nil {
+				return nil
+			}
+			sum.Scored += rep.Scored
+			sum.Disagree += rep.Disagree
+			for _, ar := range rep.Arches {
+				sawPair = true
+				if ar.AgreementRate < sum.MinAgreement {
+					sum.MinAgreement = ar.AgreementRate
+				}
+			}
+		}
+		if !sawPair {
+			sum.MinAgreement = 0
+		}
+		return sum
+	case "/v1/admin/quality":
+		var sum fleetQualitySummary
+		for _, a := range addrs {
+			var rep registry.QualityReportData
+			if json.Unmarshal(replicas[a], &rep) != nil {
+				return nil
+			}
+			for _, ar := range rep.Arches {
+				sum.Accepted += ar.Accepted
+				sum.Samples += ar.Samples
+				sum.ServedOnly += ar.ServedOnly
+			}
+		}
+		return sum
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Feedback route table.
+
+// routeTable remembers which replica answered each request ID, bounded
+// FIFO — old entries evict once capacity wraps, matching the replicas'
+// own bounded pending-feedback tables.
+type routeTable struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[string]string
+	order []string
+	next  int
+}
+
+func newRouteTable(capacity int) *routeTable {
+	return &routeTable{cap: capacity, m: map[string]string{}, order: make([]string, capacity)}
+}
+
+func (t *routeTable) put(id, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, exists := t.m[id]; !exists {
+		if old := t.order[t.next]; old != "" {
+			delete(t.m, old)
+		}
+		t.order[t.next] = id
+		t.next = (t.next + 1) % t.cap
+	}
+	t.m[id] = addr
+}
+
+func (t *routeTable) get(id string) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	addr, ok := t.m[id]
+	return addr, ok
+}
+
+// copyHeader forwards the named headers from src to dst, dropping
+// hop-by-hop noise the replicas should not see.
+func copyHeader(dst, src http.Header, names ...string) {
+	for _, k := range names {
+		if v := src.Get(k); v != "" {
+			dst.Set(k, v)
+		}
+	}
+}
+
+// errorBody mirrors serve's JSON error shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	data, err := json.Marshal(v)
+	if err != nil {
+		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+		return
+	}
+	w.Write(append(data, '\n'))
+}

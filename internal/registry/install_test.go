@@ -1,0 +1,119 @@
+package registry
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestInstallShadow covers the push-rollout receiving end: pushed
+// bytes become the arch's shadow candidate (spooled to a real path so
+// reloads stay coherent), re-pushing is idempotent, corrupt bytes and
+// unknown arches change nothing, and promotion flips the pushed
+// candidate live.
+func TestInstallShadow(t *testing.T) {
+	dir := t.TempDir()
+	live := saveArtifact(t, dir, "live.gob", 10, 7)
+	candPath := saveArtifact(t, dir, "cand.gob", 6, 99)
+	candBytes, err := os.ReadFile(candPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHash := serve.HashBytes(candBytes)
+
+	r := New()
+	if err := r.Configure("Turing", live); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.LoadAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown arch: refused, nothing installed.
+	if _, err := r.InstallShadow("ampere", candBytes); err == nil {
+		t.Error("InstallShadow accepted an unconfigured arch")
+	}
+	// Corrupt bytes: refused before anything is replaced.
+	if _, err := r.InstallShadow("turing", []byte("not an artifact")); err == nil {
+		t.Error("InstallShadow accepted undecodable bytes")
+	}
+	if _, ok := r.Shadow("turing"); ok {
+		t.Fatal("failed installs left a shadow behind")
+	}
+
+	hash, err := r.InstallShadow("", candBytes) // "" = default arch
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash != wantHash {
+		t.Fatalf("InstallShadow hash %s, want %s", hash, wantHash)
+	}
+	cand, ok := r.Shadow("turing")
+	if !ok || cand.Hash != wantHash {
+		t.Fatalf("Shadow after install = %+v ok=%v", cand, ok)
+	}
+	// The spool file is a real, reload-coherent path.
+	if cand.Source == candPath || cand.Source == "" {
+		t.Fatalf("candidate source %q should be a spool file, not the pushed path", cand.Source)
+	}
+	if _, err := os.Stat(cand.Source); err != nil {
+		t.Fatalf("spool file missing: %v", err)
+	}
+	t.Cleanup(func() { os.Remove(cand.Source) })
+
+	// Re-push of identical bytes: same hash, still one candidate.
+	if again, err := r.InstallShadow("turing", candBytes); err != nil || again != wantHash {
+		t.Fatalf("idempotent re-push = %s, %v", again, err)
+	}
+
+	// A reload sweep must keep the pushed candidate (content unchanged).
+	changed, err := r.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range changed {
+		if strings.HasPrefix(c, "shadow:") {
+			t.Fatalf("reload churned the pushed candidate: %v", changed)
+		}
+	}
+
+	// Shadow scoring and promotion work exactly as for disk-configured
+	// candidates.
+	if err := r.Ready(); err != nil {
+		t.Fatalf("Ready with a pushed candidate: %v", err)
+	}
+	newHash, err := r.Promote("turing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newHash != wantHash {
+		t.Fatalf("Promote returned %s, want %s", newHash, wantHash)
+	}
+	lm, err := r.Live("turing")
+	if err != nil || lm.Hash != wantHash {
+		t.Fatalf("Live after promote = %+v, %v", lm, err)
+	}
+	if _, ok := r.Shadow("turing"); ok {
+		t.Fatal("shadow slot survived promotion")
+	}
+
+	// Replacing an existing candidate: push different bytes over it.
+	otherPath := saveArtifact(t, dir, "cand2.gob", 8, 5)
+	otherBytes, err := os.ReadFile(otherPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serve.HashBytes(otherBytes) == wantHash {
+		t.Fatal("test artifacts collided; vary clusters/seed")
+	}
+	if _, err := r.InstallShadow("turing", otherBytes); err != nil {
+		t.Fatal(err)
+	}
+	cand2, ok := r.Shadow("turing")
+	if !ok || cand2.Hash != serve.HashBytes(otherBytes) {
+		t.Fatalf("replacement candidate = %+v ok=%v", cand2, ok)
+	}
+	t.Cleanup(func() { os.Remove(cand2.Source) })
+}

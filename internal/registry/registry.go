@@ -82,10 +82,11 @@ type Registry struct {
 // The registry satisfies the serving interfaces, including the
 // drift-monitoring and measured-quality surfaces.
 var (
-	_ serve.Backend        = (*Registry)(nil)
-	_ serve.AdminBackend   = (*Registry)(nil)
-	_ serve.DriftBackend   = (*Registry)(nil)
-	_ serve.QualityBackend = (*Registry)(nil)
+	_ serve.Backend         = (*Registry)(nil)
+	_ serve.AdminBackend    = (*Registry)(nil)
+	_ serve.DriftBackend    = (*Registry)(nil)
+	_ serve.QualityBackend  = (*Registry)(nil)
+	_ serve.ShadowInstaller = (*Registry)(nil)
 )
 
 // New returns an empty registry. Configure architectures, then LoadAll.
@@ -145,6 +146,67 @@ func (r *Registry) ConfigureShadow(arch, path string) error {
 	r.shadow[a] = &slot{path: path}
 	r.stats[a] = newShadowStats()
 	return nil
+}
+
+// InstallShadow installs artifact bytes pushed over the wire as arch's
+// shadow candidate ("" selects the default arch) — the receiving end of
+// a fleet rollout. The bytes are decoded before anything is replaced
+// (a corrupt push leaves the current candidate serving), then spooled
+// to a temp file so subsequent Reload sweeps re-read a real path like
+// any disk-configured candidate. Re-pushing the bytes already installed
+// is a no-op (content-hash idempotent, like Reload); pushing different
+// bytes replaces the candidate and resets its tallies. Returns the
+// registry's own content hash of the received bytes.
+func (r *Registry) InstallShadow(arch string, data []byte) (string, error) {
+	a := serve.NormalizeArch(arch)
+	hash := serve.HashBytes(data)
+	art, err := serve.Load(bytes.NewReader(data))
+	if err != nil {
+		return "", fmt.Errorf("registry: decoding pushed candidate: %w", err)
+	}
+
+	r.mu.RLock()
+	if a == "" {
+		a = r.def
+	}
+	_, configured := r.live[a]
+	ss := r.shadow[a]
+	already := ss != nil && ss.entry != nil && ss.entry.Hash == hash
+	r.mu.RUnlock()
+	if !configured {
+		return "", fmt.Errorf("registry: %w %q", serve.ErrUnknownArch, arch)
+	}
+	if already {
+		return hash, nil
+	}
+
+	// Spool outside the lock; the file outlives the request so Reload
+	// stays coherent for the candidate's whole shadow period.
+	spool, err := os.CreateTemp("", "spmvselect-shadow-"+a+"-"+hash+"-*.model")
+	if err != nil {
+		return "", fmt.Errorf("registry: spooling pushed candidate: %w", err)
+	}
+	if _, err := spool.Write(data); err != nil {
+		spool.Close()
+		os.Remove(spool.Name())
+		return "", fmt.Errorf("registry: spooling pushed candidate: %w", err)
+	}
+	if err := spool.Close(); err != nil {
+		os.Remove(spool.Name())
+		return "", fmt.Errorf("registry: spooling pushed candidate: %w", err)
+	}
+
+	r.mu.Lock()
+	if _, ok := r.live[a]; !ok {
+		r.mu.Unlock()
+		os.Remove(spool.Name())
+		return "", fmt.Errorf("registry: %w %q", serve.ErrUnknownArch, arch)
+	}
+	entry := &Entry{Artifact: art, Hash: hash, Path: spool.Name()}
+	r.shadow[a] = &slot{path: spool.Name(), entry: entry}
+	r.stats[a] = newShadowStats()
+	r.mu.Unlock()
+	return hash, nil
 }
 
 // SetDefault selects the arch serving requests that name none. It must

@@ -112,6 +112,42 @@ func (s *Server) adminShadow(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.admin.ShadowReport())
 }
 
+// shadowInstallResponse is the /v1/admin/shadow/install answer.
+type shadowInstallResponse struct {
+	Arch string `json:"arch"`
+	// Hash is the replica's own content hash of the received bytes;
+	// rollout controllers compare it to what they sent.
+	Hash string `json:"hash"`
+}
+
+// adminShadowInstall accepts a candidate artifact's raw bytes and
+// installs it as ?arch='s shadow (default arch when absent) — the push
+// phase of a fleet rollout, for replicas that do not share a
+// filesystem with the controller. Scoring starts immediately;
+// promotion stays a separate, explicit step.
+func (s *Server) adminShadowInstall(w http.ResponseWriter, r *http.Request) {
+	if s.installer == nil {
+		writeJSON(w, http.StatusNotImplemented,
+			errorResponse{Error: "this server cannot accept pushed candidates; serve from the registry (-models)"})
+		return
+	}
+	data, err := s.readBody(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	arch := r.URL.Query().Get("arch")
+	if arch == "" {
+		arch = s.backend.DefaultArch()
+	}
+	hash, err := s.installer.InstallShadow(arch, data)
+	if err != nil {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, shadowInstallResponse{Arch: NormalizeArch(arch), Hash: hash})
+}
+
 // adminSLO returns the rolling-window SLO report (latency quantiles,
 // availability and burn rate over 1m/5m/1h).
 func (s *Server) adminSLO(w http.ResponseWriter, r *http.Request) {

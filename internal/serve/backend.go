@@ -143,6 +143,16 @@ type AdminBackend interface {
 	ShadowReport() any
 }
 
+// ShadowInstaller is the optional push-rollout surface: backends that
+// implement it accept candidate artifact bytes over the wire (the
+// fleet rollout controller's push phase) instead of requiring the
+// candidate to pre-exist on every replica's disk. The returned hash is
+// the backend's own content hash of what it received — the caller
+// compares it against the hash of what it sent to detect corruption.
+type ShadowInstaller interface {
+	InstallShadow(arch string, data []byte) (hash string, err error)
+}
+
 // HashBytes is the content-hash identity used across the serving stack
 // (artifact hashes, cache keys): a truncated hex SHA-256, short enough
 // to read in transcripts, long enough that collisions are not a

@@ -321,7 +321,7 @@ func TestReadyz(t *testing.T) {
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("/readyz while loading: %d, want 503", rec.Code)
 	}
-	var resp readyResponse
+	var resp ReadyResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}

@@ -299,7 +299,7 @@ func TestReadyzUptimeAndHashes(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("/readyz: %d %s", rec.Code, rec.Body.String())
 	}
-	var resp readyResponse
+	var resp ReadyResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}

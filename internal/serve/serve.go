@@ -160,17 +160,18 @@ func (c Config) withDefaults() Config {
 // and emitted in the access log. Requests to /v1/* also feed the
 // rolling SLO windows behind /v1/admin/slo.
 type Server struct {
-	backend  Backend
-	admin    AdminBackend   // nil when the backend has no admin surface
-	drift    DriftBackend   // nil when the backend has no drift monitor
-	quality  QualityBackend // nil when the backend keeps no quality windows
-	cfg      Config
-	sem      chan struct{}
-	cache    *lruCache
-	featMemo *featMemo
-	capture  *obs.CaptureWriter // nil unless recording traffic
-	pending  *pendingStore      // nil unless quality != nil
-	started  time.Time
+	backend   Backend
+	admin     AdminBackend    // nil when the backend has no admin surface
+	drift     DriftBackend    // nil when the backend has no drift monitor
+	quality   QualityBackend  // nil when the backend keeps no quality windows
+	installer ShadowInstaller // nil when the backend cannot accept pushed candidates
+	cfg       Config
+	sem       chan struct{}
+	cache     *lruCache
+	featMemo  *featMemo
+	capture   *obs.CaptureWriter // nil unless recording traffic
+	pending   *pendingStore      // nil unless quality != nil
+	started   time.Time
 
 	slo       *obs.SLOWindows
 	accessLog *slog.Logger
@@ -226,6 +227,7 @@ func NewBackendServer(b Backend, cfg Config) (*Server, error) {
 	admin, _ := b.(AdminBackend)
 	drift, _ := b.(DriftBackend)
 	quality, _ := b.(QualityBackend)
+	installer, _ := b.(ShadowInstaller)
 	var pending *pendingStore
 	if quality != nil {
 		pending = newPendingStore(cfg.PendingFeedback)
@@ -235,6 +237,7 @@ func NewBackendServer(b Backend, cfg Config) (*Server, error) {
 		admin:        admin,
 		drift:        drift,
 		quality:      quality,
+		installer:    installer,
 		cfg:          cfg,
 		sem:          make(chan struct{}, cfg.MaxConcurrent),
 		cache:        newLRUCache(cfg.CacheSize),
@@ -327,10 +330,10 @@ type modelResponse struct {
 	CascadeHitRate    float64 `json:"cascade_heldout_hit_rate,omitempty"`
 }
 
-// readyResponse is the /readyz body: readiness, process uptime and the
+// ReadyResponse is the /readyz body: readiness, process uptime and the
 // per-arch live model hashes, so a fleet health check can both gate
 // traffic (the status code) and detect stale artifacts (the hashes).
-type readyResponse struct {
+type ReadyResponse struct {
 	Ready         bool         `json:"ready"`
 	Error         string       `json:"error,omitempty"`
 	UptimeSeconds float64      `json:"uptime_seconds"`
@@ -362,6 +365,7 @@ func (s *Server) Handler() http.Handler {
 	route("/v1/admin/reload", s.adminEndpoint(http.MethodPost, true, s.adminReload))
 	route("/v1/admin/promote", s.adminEndpoint(http.MethodPost, true, s.adminPromote))
 	route("/v1/admin/shadow", s.adminEndpoint(http.MethodGet, true, s.adminShadow))
+	route("/v1/admin/shadow/install", s.adminEndpoint(http.MethodPost, false, s.adminShadowInstall))
 	route("/v1/admin/slo", s.adminEndpoint(http.MethodGet, false, s.adminSLO))
 	route("/v1/admin/drift", s.adminEndpoint(http.MethodGet, false, s.adminDrift))
 	route("/v1/admin/quality", s.adminEndpoint(http.MethodGet, false, s.adminQuality))
@@ -385,7 +389,7 @@ func (s *Server) refreshDerived() {
 // loading or failed — the signal orchestrators gate traffic on during
 // startup and reload.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
-	resp := readyResponse{
+	resp := ReadyResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Arches:        s.backend.Status(),
 	}
@@ -506,6 +510,13 @@ func (s *Server) limited(h func(ctx context.Context, r *http.Request) (any, erro
 			s.errors.Inc()
 			writeError(w, err)
 			return
+		}
+		// Stamp which artifact answered (single and batch: handlers note
+		// the resolved model on the request info), so callers — the
+		// fleet proxy, replay, rollout checks — can assert the serving
+		// hash without a second /v1/model round-trip.
+		if info := reqInfoFrom(ctx); info != nil && info.modelHash != "" {
+			w.Header().Set("X-Model-Hash", info.modelHash)
 		}
 		writeJSON(w, http.StatusOK, resp)
 	}
