@@ -27,12 +27,19 @@
 #                  (three replicas behind the consistent-hash proxy:
 #                  one replica SIGKILLed under load with zero
 #                  client-visible errors, admin fan-out aggregation,
-#                  the fleet monitor view, and a fleet-wide rollout
-#                  that pushes a candidate to every survivor's shadow
-#                  slot and promotes only after the whole fleet clears
-#                  the agreement threshold)
+#                  the fleet monitor view, a distributed-trace check —
+#                  a request hedged off a frozen ring owner fetched by
+#                  X-Request-ID as one stitched span tree holding both
+#                  proxy attempts and the winning replica's stage
+#                  spans — and a fleet-wide rollout that pushes a
+#                  candidate to every survivor's shadow slot and
+#                  promotes only after the whole fleet clears the
+#                  agreement threshold)
 #   bench          additionally regenerate BENCH_obs.json from an
-#                  instrumented paper-scale `table -n 9` run (minutes),
+#                  instrumented paper-scale `table -n 9` run (minutes)
+#                  plus a `spmvselect benchtrace` serve_tracing section
+#                  (tracing-on vs tracing-off predict p50, failing when
+#                  always-on tracing costs more than 5%),
 #                  BENCH_parallel.json from `spmvselect benchpar`,
 #                  which fails when the parallel scheduler's output
 #                  differs from sequential or its speedup falls below
@@ -307,7 +314,7 @@ while [ $r -le 3 ]; do
 	r=$((r+1))
 done
 "$SMOKE/spmvselect" proxy -fleet "$R1,$R2,$R3" -addr 127.0.0.1:0 -portfile "$SMOKE/pport" \
-	-hedge-after 100ms -health-interval 500ms &
+	-hedge-after 100ms -health-interval 500ms -admin-token "$ADMIN_TOKEN" -trace-sample -1 &
 PROXY_PID=$!
 i=0
 while [ ! -s "$SMOKE/pport" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i+1)); done
@@ -327,6 +334,47 @@ echo "$SLO" | grep -q '"fleet"' || { echo "ci: proxied SLO lacks the fleet aggre
 # monitor detects the proxy and requires its metric families.
 "$SMOKE/spmvselect" monitor -addr "$PADDR" -once | grep -q 'REPLICAS' \
 	|| { echo 'ci: monitor -once did not render the fleet view'; exit 1; }
+# Distributed-trace smoke: a probe request names the ring owner of
+# MTX2's key in its attempt span; freezing that replica makes the next
+# request deliberately slow, so it hedges after 100ms and wins on the
+# next replica. Fetching the trace by its X-Request-ID from the proxy
+# must return one stitched tree: both attempt spans (one hedged) under
+# the proxy root, with the winning replica's own parse/predict stage
+# spans grafted beneath.
+"$SMOKE/spmvselect" request -addr "$PADDR" -mtx "$MTX2" -request-id trace-probe-ci -keep-trace >/dev/null
+PROBE=$("$SMOKE/spmvselect" trace -addr "$PADDR" -id trace-probe-ci -token "$ADMIN_TOKEN" -json)
+OWNER=$(echo "$PROBE" | grep -o '"name":"attempt/[^"]*"' | head -n 1 | sed 's|.*attempt/||; s|"||')
+[ -n "$OWNER" ] || { echo "ci: probe trace has no attempt span: $PROBE"; exit 1; }
+OWNER_PID=''
+[ "$OWNER" = "$R1" ] && OWNER_PID=$R1_PID
+[ "$OWNER" = "$R2" ] && OWNER_PID=$R2_PID
+[ "$OWNER" = "$R3" ] && OWNER_PID=$R3_PID
+[ -n "$OWNER_PID" ] || { echo "ci: ring owner $OWNER is not a known replica"; exit 1; }
+kill -STOP "$OWNER_PID"
+"$SMOKE/spmvselect" request -addr "$PADDR" -mtx "$MTX2" -request-id trace-stitch-ci -keep-trace -v \
+	>/dev/null 2>"$SMOKE/reqv.err" \
+	|| { kill -CONT "$OWNER_PID"; echo 'ci: traced request failed with the ring owner frozen'; exit 1; }
+kill -CONT "$OWNER_PID"
+# request -v surfaced the response's trace and model identity.
+grep -q 'X-Request-ID: trace-stitch-ci' "$SMOKE/reqv.err" \
+	|| { echo 'ci: request -v did not print the X-Request-ID'; cat "$SMOKE/reqv.err"; exit 1; }
+grep -q 'X-Model-Hash: [0-9a-f]' "$SMOKE/reqv.err" \
+	|| { echo 'ci: request -v did not print the X-Model-Hash'; cat "$SMOKE/reqv.err"; exit 1; }
+sleep 0.3
+STITCHED=$("$SMOKE/spmvselect" trace -addr "$PADDR" -id trace-stitch-ci -token "$ADMIN_TOKEN" -json)
+echo "$STITCHED" | grep -q '"stitched_from":\["' \
+	|| { echo "ci: stitched trace carries no replica spans: $STITCHED"; exit 1; }
+ATTEMPTS=$(echo "$STITCHED" | grep -o '"name":"attempt/' | wc -l)
+[ "$ATTEMPTS" -eq 2 ] || { echo "ci: stitched trace has $ATTEMPTS attempt spans, want 2"; exit 1; }
+echo "$STITCHED" | grep -q '"hedged":1' \
+	|| { echo "ci: stitched trace shows no hedged attempt: $STITCHED"; exit 1; }
+echo "$STITCHED" | grep -q '"name":"parse"' \
+	|| { echo "ci: stitched trace lacks the replica parse span: $STITCHED"; exit 1; }
+echo "$STITCHED" | grep -q '"name":"predict"' \
+	|| { echo "ci: stitched trace lacks the replica predict span: $STITCHED"; exit 1; }
+# The text renderer draws the same stitched tree.
+"$SMOKE/spmvselect" trace -addr "$PADDR" -id trace-stitch-ci -token "$ADMIN_TOKEN" | grep -q 'attempt/' \
+	|| { echo 'ci: trace rendering lost the attempt spans'; exit 1; }
 # 60 requests through the proxy; one replica is SIGKILLed mid-load.
 # Hedging plus transport-failure ejection must keep every answer 2xx —
 # zero client-visible errors is the whole point of the front door.
@@ -369,6 +417,8 @@ wait "$R3_PID" 2>/dev/null || true
 if [ "${1:-}" = bench ]; then
 	echo '== regenerating BENCH_obs.json (instrumented table -n 9, paper scale)'
 	go run ./cmd/spmvselect table -n 9 -obs :0 -report BENCH_obs.json >/dev/null
+	echo '== merging serve_tracing into BENCH_obs.json (tracing on/off p50, <= 5% gate)'
+	go run ./cmd/spmvselect benchtrace -out BENCH_obs.json
 	go run ./cmd/spmvselect report -in BENCH_obs.json -text
 	echo '== regenerating BENCH_parallel.json (sequential vs parallel tables, quick scale)'
 	go run ./cmd/spmvselect benchpar -workers 8 -out BENCH_parallel.json

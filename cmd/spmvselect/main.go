@@ -52,6 +52,12 @@
 //	                                      directory of .mtx(.gz) files
 //	spmvselect report                     print the run report of the last
 //	                                      instrumented (-obs) run
+//	spmvselect trace -addr HOST:PORT      list a serve replica's or proxy's
+//	                                      retained request traces, or render
+//	                                      one stitched trace as a span tree
+//	spmvselect benchtrace                 measure tracing-on vs tracing-off
+//	                                      predict latency, merging the gated
+//	                                      comparison into BENCH_obs.json
 //
 // The table, tables and cpubench subcommands accept -obs ADDR, which
 // turns on the internal/obs pipeline instrumentation, serves expvar and
@@ -128,6 +134,10 @@ func main() {
 		err = cmdBenchPar(os.Args[2:])
 	case "report":
 		err = cmdReport(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "benchtrace":
+		err = cmdBenchTrace(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -151,10 +161,12 @@ func usage() {
              [-admin-token T] [-addr :8080] [-portfile PATH] [-max-concurrent N] [-max-batch N]
              [-cache N] [-feat-memo N] [-timeout D] [-obs ADDR] [-access-log PATH] [-access-log-sample N]
              [-slo-target X] [-record DIR] [-record-max-mb N]
-  spmvselect request -addr HOST:PORT (-mtx FILE | -batch "f1,f2,..." | -features "v1,v2,..." | -get PATH | -post PATH [-json BODY]) [-arch A] [-token T] [-request-id ID] [-timeout D] [-retries N]
+             [-trace N] [-trace-slow D] [-trace-sample N] [-debug-dir DIR] [-burn-threshold X]
+  spmvselect request -addr HOST:PORT (-mtx FILE | -batch "f1,f2,..." | -features "v1,v2,..." | -get PATH | -post PATH [-json BODY]) [-arch A] [-token T] [-request-id ID] [-timeout D] [-retries N] [-keep-trace] [-v]
   spmvselect promote -addr HOST:PORT -token T [-arch A]
   spmvselect proxy -fleet "H:P,H:P,..." [-addr :8080] [-portfile PATH] [-vnodes N] [-timeout D]
              [-hedge-after D] [-health-interval D] [-max-backoff D]
+             [-admin-token T] [-trace N] [-trace-slow D] [-trace-sample N]
   spmvselect rollout -fleet "H:P,..." -artifact FILE -token T [-arch A] [-threshold X] [-min-scored N]
              [-drive DIR] [-timeout D] [-poll D] [-q]
   spmvselect benchfleet [-replicas N] [-matrices N] [-rounds N] [-out PATH] [-min-speedup X]
@@ -164,7 +176,9 @@ func usage() {
   spmvselect benchparse [-matrices N | -dir DIR] [-rounds N] [-out PATH] [-min-speedup X] [-max-alloc-frac X]
   spmvselect benchreplay [-singles N] [-batches N] [-batch-size N] [-concurrency N] [-out PATH] [-min-speedup X]
   spmvselect cpubench -dir DIR [-trials N] [-clusters K] [-quick] [-obs ADDR] [-report PATH]
-  spmvselect report [-in PATH] [-text]`)
+  spmvselect report [-in PATH] [-text]
+  spmvselect trace -addr HOST:PORT [-id TRACE] [-token T] [-json] [-timeout D]
+  spmvselect benchtrace [-matrices N] [-rounds N] [-out PATH] [-max-overhead X]`)
 }
 
 func options(quick bool) eval.Options {

@@ -180,6 +180,37 @@ func getJSON(client *http.Client, addr, path, token string, out any) error {
 	return nil
 }
 
+// latencyExemplars collects the per-bucket exemplars of the request
+// latency histograms: one row per exposed _exemplar sample, slowest
+// first, carrying the trace ID that `spmvselect trace -id` can fetch.
+type exemplarRow struct {
+	series  string
+	le      string
+	seconds float64
+	traceID string
+}
+
+func latencyExemplars(m *obs.PromMetrics) []exemplarRow {
+	var out []exemplarRow
+	for _, smp := range m.Samples {
+		if !strings.HasSuffix(smp.Name, "_exemplar") || smp.Labels["trace_id"] == "" {
+			continue
+		}
+		series := strings.TrimSuffix(strings.TrimPrefix(smp.Name, "spmvselect_"), "_exemplar")
+		if ep := smp.Labels["endpoint"]; ep != "" {
+			series = ep
+		}
+		out = append(out, exemplarRow{
+			series:  series,
+			le:      smp.Labels["le"],
+			seconds: smp.Value,
+			traceID: smp.Labels["trace_id"],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seconds > out[j].seconds })
+	return out
+}
+
 // predictionsByArch sums the served-prediction counter per arch.
 func predictionsByArch(m *obs.PromMetrics) map[string]float64 {
 	out := map[string]float64{}
@@ -241,6 +272,21 @@ func renderMonitor(w *os.File, addr string, prev, cur *monitorSample) {
 			fmt.Fprintf(tw, "%s\t%d\t%d\t%.4f\t%.1f\t%s\t%s\t%s\n",
 				win.Window, win.Requests, win.Errors, win.Availability, win.BurnRate,
 				fmtLatency(win.P50), fmtLatency(win.P95), fmtLatency(win.P99))
+		}
+		tw.Flush()
+	}
+
+	// Latency exemplars: the slowest recently-exemplified buckets, each
+	// naming a trace fetchable with `spmvselect trace -id`.
+	if ex := latencyExemplars(cur.metrics); len(ex) > 0 {
+		const maxRows = 5
+		if len(ex) > maxRows {
+			ex = ex[:maxRows]
+		}
+		fmt.Fprintln(tw, "\nEXEMPLAR\tBUCKET\tLATENCY\tTRACE")
+		for _, row := range ex {
+			fmt.Fprintf(tw, "%s\tle=%s\t%s\t%s\n",
+				row.series, row.le, fmtLatency(row.seconds), row.traceID)
 		}
 		tw.Flush()
 	}

@@ -193,8 +193,13 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout, queueing included")
 	obsAddr := fs.String("obs", "", "serve expvar+pprof (with the serve/* metrics) on this address too")
 	accessLog := fs.String("access-log", "", `write one JSON access-log line per request here ("-" for stderr)`)
-	logSample := fs.Int("access-log-sample", 0, "log only 1-in-N requests (errors and feedback are always logged; 0/1 = log everything)")
+	logSample := fs.Int("access-log-sample", 0, "log only 1-in-N requests (errors, feedback and slow requests are always logged; 0/1 = log everything)")
 	sloTarget := fs.Float64("slo-target", 0, "availability objective for the SLO windows and burn rates (default 0.999)")
+	traceCap := fs.Int("trace", 0, "tail-sampled trace store capacity in entries (0 = 128, negative disables tracing)")
+	traceSlow := fs.Duration("trace-slow", 0, "latency above which a request is kept as slow by the trace store and always access-logged (0 = 250ms, negative disables the static threshold)")
+	traceSample := fs.Int("trace-sample", 0, "keep 1-in-N otherwise-uninteresting traces (0 = 100, negative disables sampling)")
+	debugDir := fs.String("debug-dir", "", "write burn-triggered debug captures (CPU profile + trace snapshot) into this directory")
+	burnThreshold := fs.Float64("burn-threshold", 0, "sustained 5m SLO burn rate that triggers a debug capture into -debug-dir (0 disables)")
 	recordDir := fs.String("record", "", "capture every prediction request (body + routing metadata) to rotating files in this directory, for `spmvselect replay`")
 	recordMaxMB := fs.Int("record-max-mb", 64, "capture file rotation threshold in MiB")
 	if err := fs.Parse(args); err != nil {
@@ -277,6 +282,11 @@ func cmdServe(args []string) error {
 		AccessLogSample: *logSample,
 		SLOObjective:    *sloTarget,
 		Capture:         capture,
+		TraceCapacity:   *traceCap,
+		SlowRequest:     *traceSlow,
+		TraceSample:     *traceSample,
+		DebugDir:        *debugDir,
+		BurnThreshold:   *burnThreshold,
 	})
 	if err != nil {
 		return err
@@ -349,6 +359,8 @@ func cmdRequest(args []string) error {
 	jsonBody := fs.String("json", "", "JSON body sent with -post as application/json (e.g. a /v1/feedback report)")
 	token := fs.String("token", "", "bearer token sent as Authorization (for /v1/admin/*)")
 	requestID := fs.String("request-id", "", "send this X-Request-ID so the call is findable in the server's access log")
+	keepTrace := fs.Bool("keep-trace", false, "send X-Trace-Keep so every hop retains this request's trace for `spmvselect trace`")
+	verbose := fs.Bool("v", false, "print the response's X-Request-ID and X-Model-Hash to stderr")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-attempt request timeout")
 	retries := fs.Int("retries", 0, "retry transport failures and 502/503/504 up to N times with jittered exponential backoff")
 	if err := fs.Parse(args); err != nil {
@@ -419,7 +431,21 @@ func cmdRequest(args []string) error {
 			contentType, body = "application/json", strings.NewReader(*jsonBody)
 		}
 	}
-	return doRequestRetry(method, *addr, path, contentType, *token, *requestID, body, *timeout, *retries)
+	return doRequestFull(method, *addr, path, contentType, *token, *requestID, body, *timeout, *retries,
+		reqExtras{keepTrace: *keepTrace, verbose: *verbose})
+}
+
+// reqExtras carries the optional request behaviours the smoke-test
+// client grew after its signature stopped scaling: trace retention and
+// response-identity echo.
+type reqExtras struct {
+	// keepTrace sends X-Trace-Keep so the proxy and every replica
+	// force-retain the request's trace.
+	keepTrace bool
+	// verbose prints the response's X-Request-ID and X-Model-Hash to
+	// stderr — the two keys that connect an answer to its trace and to
+	// the artifact that produced it.
+	verbose bool
 }
 
 // doRequest performs one HTTP exchange against a serve instance,
@@ -432,14 +458,18 @@ func doRequestID(method, addr, path, contentType, token, requestID string, body 
 	return doRequestRetry(method, addr, path, contentType, token, requestID, body, timeout, 0)
 }
 
-// doRequestRetry is doRequestID with a retry budget against transient
-// failures: transport errors (a draining or restarting replica) and
-// 502/503/504 answers (the proxy or a replica shedding load). The body
-// is buffered up front so every attempt replays identical bytes, and
-// only the final attempt's response reaches stdout. Backoff is
-// exponential from 100ms with ±50% jitter so concurrent CLI loops do
-// not reconverge on the same instant.
 func doRequestRetry(method, addr, path, contentType, token, requestID string, body io.Reader, timeout time.Duration, retries int) error {
+	return doRequestFull(method, addr, path, contentType, token, requestID, body, timeout, retries, reqExtras{})
+}
+
+// doRequestFull is the full smoke-test exchange with a retry budget
+// against transient failures: transport errors (a draining or
+// restarting replica) and 502/503/504 answers (the proxy or a replica
+// shedding load). The body is buffered up front so every attempt
+// replays identical bytes, and only the final attempt's response
+// reaches stdout. Backoff is exponential from 100ms with ±50% jitter
+// so concurrent CLI loops do not reconverge on the same instant.
+func doRequestFull(method, addr, path, contentType, token, requestID string, body io.Reader, timeout time.Duration, retries int, extra reqExtras) error {
 	var payload []byte
 	if body != nil {
 		var err error
@@ -472,6 +502,9 @@ func doRequestRetry(method, addr, path, contentType, token, requestID string, bo
 		if requestID != "" {
 			req.Header.Set("X-Request-ID", requestID)
 		}
+		if extra.keepTrace {
+			req.Header.Set(obs.TraceKeepHeader, "1")
+		}
 		resp, err := client.Do(req)
 		if err != nil {
 			lastErr = err
@@ -489,6 +522,10 @@ func doRequestRetry(method, addr, path, contentType, token, requestID string, bo
 		if retryable && attempt < retries {
 			lastErr = fmt.Errorf("request: server answered %s", resp.Status)
 			continue
+		}
+		if extra.verbose {
+			fmt.Fprintf(os.Stderr, "request: X-Request-ID: %s\n", resp.Header.Get("X-Request-ID"))
+			fmt.Fprintf(os.Stderr, "request: X-Model-Hash: %s\n", resp.Header.Get("X-Model-Hash"))
 		}
 		if _, err := os.Stdout.Write(respBody); err != nil {
 			return err

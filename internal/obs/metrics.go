@@ -169,12 +169,22 @@ type Histogram struct {
 	sumBits atomic.Uint64
 	minBits atomic.Uint64
 	maxBits atomic.Uint64
+	// exemplars holds the last exemplar stored per bucket (nil until
+	// ObserveExemplar is used, so plain Observe stays allocation-free).
+	exemplars []atomic.Pointer[exemplar]
+}
+
+// exemplar links one observed value to the trace that produced it.
+type exemplar struct {
+	traceID string
+	value   float64
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	h := &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Int64, len(bounds)+1),
+		bounds:    append([]float64(nil), bounds...),
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(bounds)+1),
 	}
 	h.minBits.Store(math.Float64bits(math.Inf(1)))
 	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
@@ -207,6 +217,19 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveExemplar records one value like Observe and remembers traceID
+// as the bucket's last exemplar, linking the latency distribution back
+// to a concrete request whose trace can be fetched from the trace
+// store. An empty traceID degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&exemplar{traceID: traceID, value: v})
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
@@ -226,6 +249,15 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	if s.Count > 0 {
 		s.Min = math.Float64frombits(h.minBits.Load())
 		s.Max = math.Float64frombits(h.maxBits.Load())
+	}
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			s.Exemplars = append(s.Exemplars, BucketExemplar{
+				Bucket:  i,
+				TraceID: e.traceID,
+				Value:   e.value,
+			})
+		}
 	}
 	return s
 }
@@ -247,6 +279,18 @@ type HistogramSnapshot struct {
 	// discarded because the bucket bounds disagreed (Count/Sum/Min/Max
 	// still merged). Non-zero means the bucket distribution undercounts.
 	DroppedMerges int64 `json:"dropped_merges,omitempty"`
+	// Exemplars lists the last trace ID seen per populated bucket
+	// (only buckets that recorded one), sorted by bucket index.
+	Exemplars []BucketExemplar `json:"exemplars,omitempty"`
+}
+
+// BucketExemplar is one histogram bucket's last exemplar: the trace ID
+// and value of the most recent observation that landed in the bucket.
+// Bucket indexes into Counts (len(Bounds) is the overflow bucket).
+type BucketExemplar struct {
+	Bucket  int     `json:"bucket"`
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
 }
 
 // Mean returns the average observation, or 0 when empty.
@@ -322,6 +366,21 @@ func (h HistogramSnapshot) merge(o HistogramSnapshot) HistogramSnapshot {
 	}
 	out.Count += o.Count
 	out.Sum += o.Sum
+	if same && len(o.Exemplars) > 0 {
+		have := make(map[int]bool, len(h.Exemplars))
+		for _, e := range h.Exemplars {
+			have[e.Bucket] = true
+		}
+		out.Exemplars = append([]BucketExemplar(nil), h.Exemplars...)
+		for _, e := range o.Exemplars {
+			if !have[e.Bucket] {
+				out.Exemplars = append(out.Exemplars, e)
+			}
+		}
+		sort.Slice(out.Exemplars, func(i, j int) bool {
+			return out.Exemplars[i].Bucket < out.Exemplars[j].Bucket
+		})
+	}
 	return out
 }
 

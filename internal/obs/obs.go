@@ -171,6 +171,34 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 	return s.ctx, s
 }
 
+// StartAlways begins a span regardless of whether a sink is registered.
+// Request owners (the serve/proxy front doors) use it to build per-request
+// trace trees that are offered to a tail-sampling TraceStore even when no
+// global sink is active; the finished tree is retrieved with EndData.
+// Unlike Start it is never free, so it belongs on request roots, not on
+// library hot paths.
+func StartAlways(ctx context.Context, name string) (context.Context, *Span) {
+	s := startSpan(ctx, name)
+	return s.ctx, s
+}
+
+// StartChild begins a span when ctx already carries a parent span (a
+// request root made with StartAlways) or when a sink is registered;
+// otherwise it returns ctx unchanged and a nil span. It is the
+// instrumentation point for request-stage code: stages join always-on
+// request trees at the cost of one context lookup, while code running
+// outside a request keeps the plain Start semantics. Start itself stays
+// lookup-free so its disabled path remains a single atomic load.
+func StartChild(ctx context.Context, name string) (context.Context, *Span) {
+	if atomic.LoadUint32(&enabled32) == 0 {
+		if p, _ := ctx.Value(spanCtxKey{}).(*Span); p == nil {
+			return ctx, nil
+		}
+	}
+	s := startSpan(ctx, name)
+	return s.ctx, s
+}
+
 func startSpan(ctx context.Context, name string) *Span {
 	parent, _ := ctx.Value(spanCtxKey{}).(*Span)
 	s := &Span{name: name, parent: parent, start: time.Now()}
@@ -224,11 +252,21 @@ func (s *Span) End() {
 	s.end()
 }
 
-func (s *Span) end() {
+// EndData completes the span like End and returns the completed record
+// (nil for a nil or already-ended span). Request owners use it to hand
+// the finished tree to a TraceStore without requiring a global sink.
+func (s *Span) EndData() *SpanData {
+	if s == nil {
+		return nil
+	}
+	return s.end()
+}
+
+func (s *Span) end() *SpanData {
 	s.mu.Lock()
 	if s.ended {
 		s.mu.Unlock()
-		return
+		return nil
 	}
 	s.ended = true
 	metrics := s.metrics
@@ -255,6 +293,7 @@ func (s *Span) end() {
 	if sk := currentSink(); sk != nil {
 		sk.SpanEnded(sd)
 	}
+	return sd
 }
 
 // heapAllocs returns the cumulative heap allocation counters from

@@ -105,6 +105,25 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	}
 	for key, h := range s.Histograms {
 		h := h
+		// Exemplars expose as a sibling gauge family <fam>_exemplar with
+		// le + trace_id labels: the value is the exemplar observation and
+		// the trace_id points at a fetchable trace. The family only
+		// exists when a histogram recorded exemplars, so expositions
+		// without them are byte-identical to before.
+		for _, e := range h.Exemplars {
+			e := e
+			le := "+Inf"
+			if e.Bucket < len(h.Bounds) {
+				le = promFloat(h.Bounds[e.Bucket])
+			}
+			name, labels := SplitSeries(key)
+			exLabels := joinLabels(labels,
+				`le="`+le+`",trace_id="`+labelEscaper.Replace(e.TraceID)+`"`)
+			add(name+"_exemplar"+wrapLabels(exLabels), "gauge",
+				func(w io.Writer, fam, labels string) {
+					fmt.Fprintf(w, "%s%s %s\n", fam, wrapLabels(labels), promFloat(e.Value))
+				})
+		}
 		add(key, "histogram", func(w io.Writer, fam, labels string) {
 			cum := int64(0)
 			for i, bound := range h.Bounds {

@@ -3,7 +3,9 @@ package proxy
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -11,6 +13,8 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -46,6 +50,20 @@ type Config struct {
 	// routes /v1/feedback to the replica that answered the prediction
 	// (default 8192 entries, FIFO eviction).
 	PendingFeedback int
+	// AdminToken gates the proxy's own admin surface (/v1/admin/trace).
+	// Empty disables it; the replica fan-out endpoints are unaffected —
+	// they forward the client's Authorization to the replicas, which
+	// hold their own tokens.
+	AdminToken string
+	// TraceCapacity bounds the proxy's tail-sampled trace store
+	// (default 128; negative disables proxy-side tracing).
+	TraceCapacity int
+	// SlowRequest marks a proxied request slow for the trace store
+	// (default 250ms via the store; negative disables the threshold).
+	SlowRequest time.Duration
+	// TraceSample keeps one in N otherwise-uninteresting traces
+	// (default 100; negative disables sampling).
+	TraceSample int
 	// Client overrides the forwarding HTTP client (tests); nil builds
 	// one with sane connection pooling.
 	Client *http.Client
@@ -93,6 +111,8 @@ func (c Config) withDefaults() Config {
 //	GET  /v1/admin/slo         per-replica reports + fleet totals
 //	GET  /v1/admin/quality     per-replica reports + fleet totals
 //	GET  /v1/admin/shadow      per-replica reports + fleet agreement
+//	GET  /v1/admin/trace       retained proxy traces (own -admin-token)
+//	GET  /v1/admin/trace/{id}  one trace, replica spans stitched in
 //
 // Prediction requests hash on the request body's content (the same
 // identity serve's prediction LRU and feature memo key on), so a
@@ -116,6 +136,9 @@ func (c Config) withDefaults() Config {
 //	proxy/replica/errors{replica}    counter  failed attempts per replica
 //	proxy/replica/healthy{replica}   gauge    1 while the replica is in the ring
 //	proxy/replica/ejections{replica} counter  ejections per replica
+//	proxy/trace/kept          counter    traces retained by the tail sampler
+//	proxy/trace/dropped       counter    traces offered but not retained
+//	proxy/trace/evicted       counter    retained traces evicted under pressure
 type Proxy struct {
 	cfg      Config
 	ring     *Ring
@@ -123,6 +146,7 @@ type Proxy struct {
 	order    []string // fleet in configured order, for stable listings
 	client   *http.Client
 	routes   *routeTable
+	traces   *obs.TraceStore // nil when TraceCapacity < 0
 	started  time.Time
 
 	requests  *obs.Counter
@@ -178,6 +202,15 @@ func New(cfg Config) (*Proxy, error) {
 		replicaErrs:    obs.Default.CounterVec("proxy/replica/errors", "replica"),
 		replicaHealthy: obs.Default.GaugeVec("proxy/replica/healthy", "replica"),
 		replicaEject:   obs.Default.CounterVec("proxy/replica/ejections", "replica"),
+	}
+	if cfg.TraceCapacity >= 0 {
+		p.traces = obs.NewTraceStore(obs.TraceConfig{
+			Capacity:      cfg.TraceCapacity,
+			SlowThreshold: cfg.SlowRequest,
+			SampleEvery:   cfg.TraceSample,
+			Metrics:       obs.Default,
+			Prefix:        "proxy/trace",
+		})
 	}
 	for _, addr := range cfg.Replicas {
 		if addr == "" {
@@ -267,6 +300,8 @@ func (p *Proxy) Handler() http.Handler {
 	mux.HandleFunc("/v1/admin/slo", p.handleFanout)
 	mux.HandleFunc("/v1/admin/quality", p.handleFanout)
 	mux.HandleFunc("/v1/admin/shadow", p.handleFanout)
+	mux.HandleFunc("/v1/admin/trace", p.adminOnly(p.handleTraceList))
+	mux.HandleFunc("/v1/admin/trace/", p.adminOnly(p.handleTraceGet))
 	return mux
 }
 
@@ -327,10 +362,30 @@ type attemptResult struct {
 	err error
 }
 
+// maxTraceIDLen bounds an attacker-supplied X-Request-ID, matching the
+// serve tier's bound.
+const maxTraceIDLen = 128
+
+// newTraceID mints a 16-hex-digit random trace ID (the proxy mints the
+// fleet-wide request ID when the client did not supply one, so every
+// hop — proxy spans, replica spans, logs — shares the same key).
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // handlePredict routes one prediction request: consistent-hash on the
 // body content (the identity the replica caches key on), forward to
 // the ring owner, hedge onto the next distinct replica when the owner
 // is slow, fail over when an attempt dies.
+//
+// The proxy is the trace root for fleet requests: it mints (or adopts)
+// the X-Request-ID, opens an always-on root span, and every upstream
+// attempt — owner, hedge, failover — becomes a sibling child span, so
+// a retained trace shows the full race, abandoned attempts included.
 func (p *Proxy) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -338,29 +393,68 @@ func (p *Proxy) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p.requests.Inc()
+	trace := r.Header.Get("X-Request-ID")
+	if trace == "" {
+		trace = newTraceID()
+	} else if len(trace) > maxTraceIDLen {
+		trace = trace[:maxTraceIDLen]
+	}
+	// Write the (possibly minted) ID back onto the request so every
+	// attempt forwards it and the replicas adopt it as their trace ID.
+	r.Header.Set("X-Request-ID", trace)
 	start := time.Now()
-	defer func() { p.latency.Observe(time.Since(start).Seconds()) }()
+	defer func() { p.latency.ObserveExemplar(time.Since(start).Seconds(), trace) }()
+
+	ctx := obs.WithTraceID(r.Context(), trace)
+	var root *obs.Span
+	if p.traces != nil {
+		ctx, root = obs.StartAlways(ctx, r.URL.Path)
+	}
+	r = r.WithContext(ctx)
 
 	body, err := p.readBody(w, r)
 	if err != nil {
+		if root != nil {
+			root.SetMetric("status", http.StatusBadRequest)
+			p.traces.Offer(root.EndData(), http.StatusBadRequest)
+		}
 		return // readBody already answered
 	}
 	key := routeKey(body, r.URL.Query().Get("arch"))
-	res, ferr := p.forward(r, body, key, true)
+	res, info, ferr := p.forward(r, body, key, true)
+	status := res.status
 	if ferr != nil {
 		p.errors.Inc()
-		writeJSON(w, http.StatusBadGateway, errorBody{Error: "fleet: " + ferr.Error()})
-		return
+		status = http.StatusBadGateway
+		writeJSON(w, status, errorBody{Error: "fleet: " + ferr.Error()})
+	} else {
+		if res.status >= 500 {
+			p.errors.Inc()
+		}
+		// Remember which replica answered, so a later /v1/feedback
+		// carrying this X-Request-ID lands on the replica holding the
+		// pending entry.
+		if id := res.header.Get("X-Request-ID"); id != "" && res.status == http.StatusOK {
+			p.routes.put(id, res.addr)
+		}
+		p.copyResponse(w, res)
 	}
-	if res.status >= 500 {
-		p.errors.Inc()
+	if root != nil {
+		root.SetMetric("status", float64(status))
+		if sd := root.EndData(); sd != nil {
+			var forced []string
+			if info.hedged {
+				forced = append(forced, obs.KeepHedged)
+			}
+			if info.failover {
+				forced = append(forced, obs.KeepFailover)
+			}
+			if r.Header.Get(obs.TraceKeepHeader) != "" {
+				forced = append(forced, obs.KeepRequested)
+			}
+			p.traces.Offer(sd, status, forced...)
+		}
 	}
-	// Remember which replica answered, so a later /v1/feedback carrying
-	// this X-Request-ID lands on the replica holding the pending entry.
-	if id := res.header.Get("X-Request-ID"); id != "" && res.status == http.StatusOK {
-		p.routes.put(id, res.addr)
-	}
-	p.copyResponse(w, res)
 }
 
 // handleByArch routes body-less endpoints (/v1/model) by arch: the
@@ -369,7 +463,7 @@ func (p *Proxy) handlePredict(w http.ResponseWriter, r *http.Request) {
 func (p *Proxy) handleByArch(w http.ResponseWriter, r *http.Request) {
 	p.requests.Inc()
 	key := "arch:" + r.URL.Query().Get("arch")
-	res, ferr := p.forward(r, nil, key, true)
+	res, _, ferr := p.forward(r, nil, key, true)
 	if ferr != nil {
 		p.errors.Inc()
 		writeJSON(w, http.StatusBadGateway, errorBody{Error: "fleet: " + ferr.Error()})
@@ -423,25 +517,67 @@ func (p *Proxy) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	p.copyResponse(w, res.proxied)
 }
 
+// forwardInfo reports how a forward was answered — whether a hedge
+// was launched and whether any failover retry happened — the facts the
+// trace store force-keeps traces for.
+type forwardInfo struct {
+	hedged   bool
+	failover bool
+}
+
 // forward answers one request through the ring with hedging and
 // failover: launch the owner, race a hedge after HedgeAfter, fail over
 // to the next distinct replica on a dead attempt, first success wins.
 // A non-nil error means no attempt produced an HTTP response at all —
 // a returned proxied may still carry a 5xx every replica agreed on,
 // which forwards to the client as-is.
-func (p *Proxy) forward(r *http.Request, body []byte, key string, allowHedge bool) (proxied, error) {
+//
+// When r's context carries a root span, every attempt gets a child
+// span named attempt/<addr>; attempts still in flight when a winner
+// returns are marked abandoned and closed, so the trace records the
+// whole race, not just the winning leg.
+func (p *Proxy) forward(r *http.Request, body []byte, key string, allowHedge bool) (proxied, forwardInfo, error) {
+	var info forwardInfo
 	targets := p.ring.LookupN(key, 2)
 	if len(targets) == 0 {
-		return proxied{}, fmt.Errorf("no healthy replicas (fleet of %d, all ejected)", len(p.order))
+		return proxied{}, info, fmt.Errorf("no healthy replicas (fleet of %d, all ejected)", len(p.order))
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), p.cfg.Timeout)
 	defer cancel()
+
+	open := map[string]*obs.Span{}
+	defer func() {
+		for _, sp := range open {
+			sp.SetMetric("abandoned", 1)
+			sp.End()
+		}
+	}()
+	closeSpan := func(res attemptResult) {
+		sp := open[res.addr]
+		if sp == nil {
+			return
+		}
+		delete(open, res.addr)
+		if res.err != nil {
+			sp.SetMetric("transport_error", 1)
+		} else {
+			sp.SetMetric("status", float64(res.status))
+		}
+		sp.End()
+	}
 
 	resc := make(chan attemptResult, len(targets))
 	launched := 0
 	launch := func(hedged bool) {
 		addr := targets[launched]
 		launched++
+		_, sp := obs.StartChild(ctx, "attempt/"+addr)
+		if hedged {
+			sp.SetMetric("hedged", 1)
+		}
+		if sp != nil {
+			open[addr] = sp
+		}
 		go func() {
 			resc <- p.attempt(ctx, r, addr, body, hedged)
 		}()
@@ -461,16 +597,18 @@ func (p *Proxy) forward(r *http.Request, body []byte, key string, allowHedge boo
 	for {
 		select {
 		case <-ctx.Done():
-			return proxied{}, fmt.Errorf("fleet timeout after %s: %w", p.cfg.Timeout, ctx.Err())
+			return proxied{}, info, fmt.Errorf("fleet timeout after %s: %w", p.cfg.Timeout, ctx.Err())
 		case <-hedgeC:
 			hedgeC = nil
 			if launched < len(targets) {
 				p.hedges.Inc()
+				info.hedged = true
 				launch(true)
 				outstanding++
 			}
 		case res := <-resc:
 			outstanding--
+			closeSpan(res)
 			switch {
 			case res.err != nil:
 				// Transport-level death: eject now so the ring stops
@@ -483,20 +621,21 @@ func (p *Proxy) forward(r *http.Request, body []byte, key string, allowHedge boo
 				if res.hedged {
 					p.hedgeWins.Inc()
 				}
-				return res.proxied, nil
+				return res.proxied, info, nil
 			}
 			// The attempt failed. Fail over to the next untried replica;
 			// once every target has been tried and answered, surface the
 			// least-bad outcome.
 			if launched < len(targets) {
 				p.retries.Inc()
+				info.failover = true
 				launch(false)
 				outstanding++
 			} else if outstanding == 0 {
 				if lastBad != nil {
-					return *lastBad, nil
+					return *lastBad, info, nil
 				}
-				return proxied{}, lastErr
+				return proxied{}, info, lastErr
 			}
 		}
 	}
@@ -522,7 +661,20 @@ func (p *Proxy) attempt(ctx context.Context, r *http.Request, addr string, body 
 		p.replicaErrs.With(addr).Inc()
 		return attemptResult{proxied: proxied{addr: addr, hedged: hedged}, err: err}
 	}
-	copyHeader(req.Header, r.Header, "Content-Type", "Authorization", "X-Request-ID", "Accept")
+	copyHeader(req.Header, r.Header, "Content-Type", "Authorization", "X-Request-ID", "Accept",
+		obs.TraceKeepHeader)
+	// Count this proxy as one hop, so replica root spans record their
+	// depth behind the front door. Hedge attempts are force-kept on the
+	// replica too: when the hedge loses the race its replica-side trace
+	// is the only record of what the slow leg was doing.
+	hop := 1
+	if prev, err := strconv.Atoi(r.Header.Get(obs.TraceHopHeader)); err == nil && prev > 0 {
+		hop = prev + 1
+	}
+	req.Header.Set(obs.TraceHopHeader, strconv.Itoa(hop))
+	if hedged {
+		req.Header.Set(obs.TraceKeepHeader, "hedged")
+	}
 	resp, err := p.client.Do(req)
 	if err != nil {
 		p.replicaErrs.With(addr).Inc()
@@ -584,6 +736,167 @@ func routeKey(body []byte, arch string) string {
 	}
 	sum := sha256.Sum256(body)
 	return hex.EncodeToString(sum[:16])
+}
+
+// ---------------------------------------------------------------------
+// Trace admin API: the proxy's own retained traces, with replica span
+// trees stitched in on fetch.
+
+// adminOnly gates a proxy-admin handler behind the proxy's own token
+// (the fan-out endpoints forward the client's Authorization to the
+// replicas instead; traces are the proxy's own state, so the proxy
+// holds the gate).
+func (p *Proxy) adminOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "use GET"})
+			return
+		}
+		if !p.authorized(r) {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="spmvselect proxy admin"`)
+			msg := "invalid admin token"
+			if p.cfg.AdminToken == "" {
+				msg = "admin API disabled: start the proxy with -admin-token"
+			}
+			writeJSON(w, http.StatusUnauthorized, errorBody{Error: msg})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// authorized reports whether r carries the proxy's admin token,
+// constant-time over SHA-256 digests like the serve tier.
+func (p *Proxy) authorized(r *http.Request) bool {
+	if p.cfg.AdminToken == "" {
+		return false
+	}
+	got := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+	a := sha256.Sum256([]byte(got))
+	b := sha256.Sum256([]byte(p.cfg.AdminToken))
+	return subtle.ConstantTimeCompare(a[:], b[:]) == 1
+}
+
+// traceListResponse is the /v1/admin/trace list answer.
+type traceListResponse struct {
+	Count  int                `json:"count"`
+	Traces []obs.TraceSummary `json:"traces"`
+}
+
+func (p *Proxy) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	if p.traces == nil {
+		writeJSON(w, http.StatusNotImplemented,
+			errorBody{Error: "tracing disabled on this proxy (-trace -1)"})
+		return
+	}
+	list := p.traces.List()
+	if list == nil {
+		list = []obs.TraceSummary{}
+	}
+	writeJSON(w, http.StatusOK, traceListResponse{Count: len(list), Traces: list})
+}
+
+// stitchedTrace is the /v1/admin/trace/<id> answer: the proxy's own
+// span tree for the request with each replica's retained tree grafted
+// under the attempt span that reached it. Field names match
+// obs.TraceEntry, so clients decode either shape.
+type stitchedTrace struct {
+	TraceID string        `json:"trace_id"`
+	Root    *obs.SpanData `json:"root"`
+	Reasons []string      `json:"reasons"`
+	Status  int           `json:"status"`
+	At      time.Time     `json:"at"`
+	// StitchedFrom lists the replicas whose span trees were grafted in;
+	// an attempt absent here either kept no trace (sampled out on the
+	// replica) or could not be reached.
+	StitchedFrom []string `json:"stitched_from,omitempty"`
+}
+
+// handleTraceGet fetches one retained trace by request ID and stitches
+// in the replica-side trees: for every attempt/<addr> child span the
+// proxy asks that replica's /v1/admin/trace/<id>, forwarding the
+// client's Authorization (the replicas hold their own admin tokens),
+// and grafts the returned root under the attempt span. Cross-hop
+// stitching is best-effort — a replica that sampled the trace out or
+// is down just leaves its attempt span childless.
+func (p *Proxy) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	if p.traces == nil {
+		writeJSON(w, http.StatusNotImplemented,
+			errorBody{Error: "tracing disabled on this proxy (-trace -1)"})
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/admin/trace/")
+	if id == "" {
+		p.handleTraceList(w, r)
+		return
+	}
+	e := p.traces.Get(id)
+	if e == nil {
+		writeJSON(w, http.StatusNotFound,
+			errorBody{Error: "no retained trace with ID " + id + " (evicted, sampled out, or never seen)"})
+		return
+	}
+	root, from := p.stitch(r, e)
+	writeJSON(w, http.StatusOK, stitchedTrace{
+		TraceID:      e.TraceID,
+		Root:         root,
+		Reasons:      e.Reasons,
+		Status:       e.Status,
+		At:           e.At,
+		StitchedFrom: from,
+	})
+}
+
+// stitch returns a copy of e's tree with replica trees grafted under
+// the attempt spans. The stored tree is never mutated — only the nodes
+// on the modified path are cloned.
+func (p *Proxy) stitch(r *http.Request, e *obs.TraceEntry) (*obs.SpanData, []string) {
+	root := *e.Root
+	root.Children = append([]*obs.SpanData(nil), e.Root.Children...)
+	var from []string
+	for i, c := range root.Children {
+		addr, ok := strings.CutPrefix(c.Name, "attempt/")
+		if !ok {
+			continue
+		}
+		sub := p.fetchReplicaTrace(r, addr, e.TraceID)
+		if sub == nil {
+			continue
+		}
+		cc := *c
+		cc.Children = append(append([]*obs.SpanData(nil), c.Children...), sub)
+		root.Children[i] = &cc
+		from = append(from, addr)
+	}
+	return &root, from
+}
+
+// fetchReplicaTrace asks one replica for its retained span tree of
+// trace id. Nil on any failure — stitching is best-effort.
+func (p *Proxy) fetchReplicaTrace(r *http.Request, addr, id string) *obs.SpanData {
+	ctx, cancel := context.WithTimeout(r.Context(), p.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://"+addr+"/v1/admin/trace/"+id, nil)
+	if err != nil {
+		return nil
+	}
+	copyHeader(req.Header, r.Header, "Authorization")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil
+	}
+	var e obs.TraceEntry
+	if err := json.NewDecoder(io.LimitReader(resp.Body, p.cfg.MaxBodyBytes)).Decode(&e); err != nil {
+		return nil
+	}
+	return e.Root
 }
 
 // ---------------------------------------------------------------------

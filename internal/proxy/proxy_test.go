@@ -32,6 +32,8 @@ type fakeReplica struct {
 
 	mu       sync.Mutex
 	feedback []string // request_ids received on /v1/feedback
+	hops     []string // X-Trace-Hop values seen on predictions
+	keeps    []string // X-Trace-Keep values seen on predictions
 }
 
 func newFakeReplica(id string) *fakeReplica {
@@ -45,6 +47,10 @@ func newFakeReplica(id string) *fakeReplica {
 			time.Sleep(time.Duration(d) * time.Millisecond)
 		}
 		f.preds.Add(1)
+		f.mu.Lock()
+		f.hops = append(f.hops, r.Header.Get(obs.TraceHopHeader))
+		f.keeps = append(f.keeps, r.Header.Get(obs.TraceKeepHeader))
+		f.mu.Unlock()
 		rid := r.Header.Get("X-Request-ID")
 		if rid == "" {
 			rid = fmt.Sprintf("%s-rid-%d", f.id, f.reqSeq.Add(1))
@@ -64,6 +70,21 @@ func newFakeReplica(id string) *fakeReplica {
 		f.feedback = append(f.feedback, ref.RequestID)
 		f.mu.Unlock()
 		writeJSON(w, http.StatusOK, map[string]bool{"accepted": true})
+	})
+	mux.HandleFunc("/v1/admin/trace/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/v1/admin/trace/")
+		writeJSON(w, http.StatusOK, obs.TraceEntry{
+			TraceID: id,
+			Status:  http.StatusOK,
+			Reasons: []string{obs.KeepRequested},
+			Root: &obs.SpanData{
+				Name: "/v1/predict/matrix", TraceID: id, Root: true,
+				Children: []*obs.SpanData{
+					{Name: "parse", TraceID: id},
+					{Name: "predict", TraceID: id},
+				},
+			},
+		})
 	})
 	mux.HandleFunc("/v1/admin/slo", func(w http.ResponseWriter, r *http.Request) {
 		if r.Header.Get("Authorization") != "Bearer tok" {

@@ -5,6 +5,8 @@ import (
 	"crypto/subtle"
 	"net/http"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // The /v1/admin/* surface: reload, promote, shadow report. Admin
@@ -146,6 +148,50 @@ func (s *Server) adminShadowInstall(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, shadowInstallResponse{Arch: NormalizeArch(arch), Hash: hash})
+}
+
+// traceListResponse is the /v1/admin/trace list answer.
+type traceListResponse struct {
+	Count  int                `json:"count"`
+	Traces []obs.TraceSummary `json:"traces"`
+}
+
+// adminTraceList returns summaries of every retained trace, newest
+// first. 501 when the server was started with tracing disabled
+// (-trace -1).
+func (s *Server) adminTraceList(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		writeJSON(w, http.StatusNotImplemented,
+			errorResponse{Error: "tracing disabled on this server (-trace -1)"})
+		return
+	}
+	list := s.traces.List()
+	if list == nil {
+		list = []obs.TraceSummary{}
+	}
+	writeJSON(w, http.StatusOK, traceListResponse{Count: len(list), Traces: list})
+}
+
+// adminTraceGet returns one retained trace — the full span tree — by
+// trace ID (the request's X-Request-ID). /v1/admin/trace/<id>.
+func (s *Server) adminTraceGet(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		writeJSON(w, http.StatusNotImplemented,
+			errorResponse{Error: "tracing disabled on this server (-trace -1)"})
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/admin/trace/")
+	if id == "" {
+		s.adminTraceList(w, r)
+		return
+	}
+	e := s.traces.Get(id)
+	if e == nil {
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: "no retained trace with ID " + id + " (evicted, sampled out, or never seen)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, e)
 }
 
 // adminSLO returns the rolling-window SLO report (latency quantiles,

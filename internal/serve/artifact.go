@@ -9,6 +9,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/classify"
 	"repro/internal/features"
+	"repro/internal/obs"
 	"repro/internal/preprocess"
 	"repro/internal/semisup"
 	"repro/internal/sparse"
@@ -309,20 +311,41 @@ func (a *Artifact) PredictMatrix(m *sparse.CSR) (Prediction, error) {
 // cheap stage answered (callers that need the full vector anyway —
 // shadow scoring — extract it themselves).
 func (a *Artifact) PredictMatrixScratch(m *sparse.CSR, s *features.Scratch) (Prediction, []float64, error) {
+	return a.PredictMatrixScratchCtx(context.Background(), m, s)
+}
+
+// PredictMatrixScratchCtx is PredictMatrixScratch under a request
+// context: each stage (cheap extraction, cascade decision, full
+// extraction, model predict) becomes a child span of the request's
+// span tree, so per-request traces show exactly where matrix time
+// went. With no span in ctx and observability disabled, the spans cost
+// one context lookup each.
+func (a *Artifact) PredictMatrixScratchCtx(ctx context.Context, m *sparse.CSR, s *features.Scratch) (Prediction, []float64, error) {
 	c := a.Cascade
 	if c == nil || !c.usesCheapOrder() {
 		// No cascade (or one trained on a foreign feature ordering):
 		// extract everything and let Predict route.
+		_, fsp := obs.StartChild(ctx, "features/full")
 		vec := s.Extract(m).Slice()
+		fsp.End()
+		_, psp := obs.StartChild(ctx, "predict")
 		pred, err := a.Predict(vec)
+		psp.End()
 		return pred, vec, err
 	}
+	_, csp := obs.StartChild(ctx, "features/cheap")
 	cheap := s.ExtractCheap(m)
+	csp.End()
+	_, dsp := obs.StartChild(ctx, "cascade")
 	label, conf, err := c.decide(cheap[:])
+	dsp.SetMetric("confidence", conf)
 	if err != nil {
+		dsp.End()
 		return Prediction{}, nil, err
 	}
 	if conf >= c.Threshold && label >= 0 && label < len(a.Formats) {
+		dsp.SetMetric("hit", 1)
+		dsp.End()
 		return Prediction{
 			Format:     a.Formats[label],
 			Label:      label,
@@ -331,8 +354,14 @@ func (a *Artifact) PredictMatrixScratch(m *sparse.CSR, s *features.Scratch) (Pre
 			Confidence: conf,
 		}, nil, nil
 	}
+	dsp.SetMetric("hit", 0)
+	dsp.End()
+	_, fsp := obs.StartChild(ctx, "features/full")
 	vec := s.Extract(m).Slice()
+	fsp.End()
+	_, psp := obs.StartChild(ctx, "predict")
 	pred, err := a.predictFull(vec)
+	psp.End()
 	if err != nil {
 		return Prediction{}, nil, err
 	}

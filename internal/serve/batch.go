@@ -91,7 +91,7 @@ func (s *Server) predictBatchItem(ctx context.Context, lm, cand LiveModel, shado
 	if len(item) == 0 {
 		return batchItem{Error: "empty matrix body"}
 	}
-	ans, err := s.predictBody(lm, cand, shadowed, scratch, ps, item)
+	ans, err := s.predictBody(ctx, lm, cand, shadowed, scratch, ps, item)
 	if err != nil {
 		return batchItem{Error: err.Error()}
 	}
@@ -159,9 +159,9 @@ func (s *Server) predictBatch(ctx context.Context, r *http.Request) (any, error)
 			// Each item gets its own span; ctx carries the request's
 			// trace ID, so every item in the fan-out is attributable to
 			// the parent X-Request-ID.
-			_, span := obs.Start(ctx, "serve/batch/item")
+			ictx, span := obs.StartChild(ctx, "serve/batch/item")
 			span.SetMetric("index", float64(i))
-			results[i] = s.predictBatchItem(ctx, lm, cand, shadowed, &scratch, ps, items[i], i)
+			results[i] = s.predictBatchItem(ictx, lm, cand, shadowed, &scratch, ps, items[i], i)
 			if results[i].Error != "" {
 				itemErrs.Add(1)
 			}

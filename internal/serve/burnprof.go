@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Burn-triggered profiling: when the 5-minute SLO burn rate stays above
+// a configured threshold for consecutive checks, the server captures a
+// CPU profile and a trace-store snapshot into the debug directory —
+// the evidence an operator needs is collected while the incident is
+// happening, not after someone notices the pager. Captures are
+// rate-limited to one per window so a long burn cannot fill the disk.
+
+// burnConfig configures a burnProfiler.
+type burnConfig struct {
+	// Dir receives burn-<unixnano>-cpu.pprof and
+	// burn-<unixnano>-traces.json capture pairs.
+	Dir string
+	// Threshold is the sustained 5m burn rate that triggers a capture.
+	Threshold float64
+	// Consecutive is how many successive over-threshold checks arm the
+	// trigger (default 2) — one noisy reading must not burn a capture.
+	Consecutive int
+	// Window rate-limits captures: at most one per Window (default 5m).
+	Window time.Duration
+	// ProfileDuration is how long the CPU profile runs (default 2s).
+	ProfileDuration time.Duration
+	// BurnRate supplies the current 5m burn rate on each check.
+	BurnRate func() float64
+	// Traces supplies the trace-store snapshot written next to the
+	// profile; nil writes an empty list.
+	Traces func() []*obs.TraceEntry
+	// Now is the clock (tests); nil means time.Now.
+	Now func() time.Time
+	// Log, when set, records captures and capture failures.
+	Log *slog.Logger
+}
+
+// burnProfiler watches the burn rate and captures debug evidence.
+type burnProfiler struct {
+	cfg burnConfig
+
+	mu          sync.Mutex
+	streak      int
+	lastCapture time.Time
+	capturing   bool
+
+	captures *obs.Counter
+}
+
+func newBurnProfiler(cfg burnConfig) *burnProfiler {
+	if cfg.Consecutive <= 0 {
+		cfg.Consecutive = 2
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 5 * time.Minute
+	}
+	if cfg.ProfileDuration <= 0 {
+		cfg.ProfileDuration = 2 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &burnProfiler{
+		cfg:      cfg,
+		captures: obs.Default.Counter("serve/burnprof/captures"),
+	}
+}
+
+// loop ticks the burn check every interval until ctx is cancelled.
+func (b *burnProfiler) loop(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			b.tick()
+		}
+	}
+}
+
+// tick takes one burn-rate reading; a sustained breach (Consecutive
+// readings over Threshold) outside the rate-limit window launches a
+// capture in the background. Returns whether a capture was started —
+// for tests.
+func (b *burnProfiler) tick() bool {
+	rate := b.cfg.BurnRate()
+	b.mu.Lock()
+	if rate < b.cfg.Threshold {
+		b.streak = 0
+		b.mu.Unlock()
+		return false
+	}
+	b.streak++
+	now := b.cfg.Now()
+	if b.streak < b.cfg.Consecutive || b.capturing ||
+		(!b.lastCapture.IsZero() && now.Sub(b.lastCapture) < b.cfg.Window) {
+		b.mu.Unlock()
+		return false
+	}
+	b.capturing = true
+	b.lastCapture = now
+	b.mu.Unlock()
+
+	go func() {
+		err := b.capture(now, rate)
+		b.mu.Lock()
+		b.capturing = false
+		b.mu.Unlock()
+		if b.cfg.Log != nil {
+			if err != nil {
+				b.cfg.Log.Error("burn capture failed", slog.Any("error", err))
+			} else {
+				b.cfg.Log.Warn("burn capture written",
+					slog.Float64("burn_rate", rate), slog.String("dir", b.cfg.Dir))
+			}
+		}
+	}()
+	return true
+}
+
+// burnSnapshot is the JSON written next to the CPU profile.
+type burnSnapshot struct {
+	At       time.Time         `json:"at"`
+	BurnRate float64           `json:"burn_rate"`
+	Traces   []*obs.TraceEntry `json:"traces"`
+}
+
+// capture writes the profile/trace pair for one burn event.
+func (b *burnProfiler) capture(at time.Time, rate float64) error {
+	if err := os.MkdirAll(b.cfg.Dir, 0o755); err != nil {
+		return fmt.Errorf("burnprof: %w", err)
+	}
+	stamp := fmt.Sprintf("burn-%d", at.UnixNano())
+
+	var traces []*obs.TraceEntry
+	if b.cfg.Traces != nil {
+		traces = b.cfg.Traces()
+	}
+	if traces == nil {
+		traces = []*obs.TraceEntry{}
+	}
+	snap, err := json.MarshalIndent(burnSnapshot{At: at, BurnRate: rate, Traces: traces}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("burnprof: encoding traces: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(b.cfg.Dir, stamp+"-traces.json"), snap, 0o644); err != nil {
+		return fmt.Errorf("burnprof: %w", err)
+	}
+
+	f, err := os.Create(filepath.Join(b.cfg.Dir, stamp+"-cpu.pprof"))
+	if err != nil {
+		return fmt.Errorf("burnprof: %w", err)
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		// Another profiler (a burn capture racing a manual pprof fetch)
+		// already owns CPU profiling; the trace snapshot still landed.
+		return fmt.Errorf("burnprof: cpu profile: %w", err)
+	}
+	time.Sleep(b.cfg.ProfileDuration)
+	pprof.StopCPUProfile()
+	b.captures.Add(1)
+	return nil
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"net/http"
 	"testing"
@@ -251,11 +252,11 @@ func TestPredictBodyMemoHitAllocs(t *testing.T) {
 	var scratch features.Scratch
 	ps := sparse.GetParseScratch()
 	defer sparse.PutParseScratch(ps)
-	if _, err := srv.predictBody(lm, LiveModel{}, false, &scratch, ps, mm); err != nil {
+	if _, err := srv.predictBody(context.Background(), lm, LiveModel{}, false, &scratch, ps, mm); err != nil {
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(100, func() {
-		if _, err := srv.predictBody(lm, LiveModel{}, false, &scratch, ps, mm); err != nil {
+		if _, err := srv.predictBody(context.Background(), lm, LiveModel{}, false, &scratch, ps, mm); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -274,16 +274,24 @@ func TestBatchTraceIDPropagation(t *testing.T) {
 	predictWithID(t, h, "/v1/predict/batch", traceID, batch)
 
 	// Every per-item span of the fan-out must carry the parent request's
-	// trace ID, or batch items are unattributable in the span store.
+	// trace ID, or batch items are unattributable in the span store. The
+	// items hang off the request's root span (the always-on trace tree),
+	// so walk the whole forest.
 	items := 0
+	var walk func(sd *obs.SpanData)
+	walk = func(sd *obs.SpanData) {
+		if sd.Name == "serve/batch/item" {
+			items++
+			if sd.TraceID != traceID {
+				t.Errorf("batch item span trace = %q, want %q", sd.TraceID, traceID)
+			}
+		}
+		for _, c := range sd.Children {
+			walk(c)
+		}
+	}
 	for _, root := range col.Roots() {
-		if root.Name != "serve/batch/item" {
-			continue
-		}
-		items++
-		if root.TraceID != traceID {
-			t.Errorf("batch item span trace = %q, want %q", root.TraceID, traceID)
-		}
+		walk(root)
 	}
 	if items != 4 {
 		t.Fatalf("saw %d serve/batch/item spans, want 4", items)

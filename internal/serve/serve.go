@@ -70,6 +70,26 @@ type Config struct {
 	// /v1/feedback reports to served predictions (default 4096). Only
 	// used when the backend implements QualityBackend.
 	PendingFeedback int
+	// TraceCapacity bounds the tail-sampled trace store behind
+	// /v1/admin/trace (default 128 retained traces; negative disables
+	// request tracing entirely).
+	TraceCapacity int
+	// SlowRequest is the latency above which a request is always traced
+	// and always access-logged regardless of sampling (default 250ms;
+	// negative disables the static threshold — the SLO-window p99 still
+	// applies to the trace store).
+	SlowRequest time.Duration
+	// TraceSample keeps one in N otherwise-uninteresting traces
+	// (default 100; negative disables random sampling).
+	TraceSample int
+	// DebugDir, when set together with BurnThreshold, receives
+	// burn-triggered debug captures: a CPU profile plus a trace-store
+	// snapshot whenever the 5m SLO burn rate stays above the threshold.
+	DebugDir string
+	// BurnThreshold is the sustained 5m burn rate that triggers a debug
+	// capture (0 disables; 1.0 = spending error budget exactly on
+	// schedule).
+	BurnThreshold float64
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +110,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatchItems <= 0 {
 		c.MaxBatchItems = 64
+	}
+	if c.SlowRequest == 0 {
+		c.SlowRequest = 250 * time.Millisecond
 	}
 	return c
 }
@@ -176,6 +199,8 @@ type Server struct {
 	slo       *obs.SLOWindows
 	accessLog *slog.Logger
 	logSeq    atomic.Int64 // access-log sampling counter
+	traces    *obs.TraceStore
+	burn      *burnProfiler // nil unless DebugDir + BurnThreshold configured
 
 	requests     *obs.Counter
 	errors       *obs.Counter
@@ -232,7 +257,7 @@ func NewBackendServer(b Backend, cfg Config) (*Server, error) {
 	if quality != nil {
 		pending = newPendingStore(cfg.PendingFeedback)
 	}
-	return &Server{
+	s := &Server{
 		backend:      b,
 		admin:        admin,
 		drift:        drift,
@@ -274,7 +299,44 @@ func NewBackendServer(b Backend, cfg Config) (*Server, error) {
 		captureErrors:    obs.Default.Counter("serve/capture/errors"),
 		feedbackAccepted: obs.Default.Counter("serve/feedback/accepted"),
 		feedbackRejected: obs.Default.Counter("serve/feedback/rejected"),
-	}, nil
+	}
+	if cfg.TraceCapacity >= 0 {
+		// The dynamic slow threshold tracks the exported 5m p99 gauge,
+		// which refreshDerived keeps current on every /metrics scrape —
+		// reading a gauge per request instead of recomputing the window.
+		p99 := obs.Default.GaugeVec("slo/latency/seconds", "window", "quantile").With("5m", "p99")
+		s.traces = obs.NewTraceStore(obs.TraceConfig{
+			Capacity:      cfg.TraceCapacity,
+			SlowThreshold: cfg.SlowRequest,
+			SampleEvery:   cfg.TraceSample,
+			DynamicSlow: func() time.Duration {
+				return time.Duration(p99.Value() * float64(time.Second))
+			},
+			Metrics: obs.Default,
+			Prefix:  "serve/trace",
+		})
+	}
+	if cfg.DebugDir != "" && cfg.BurnThreshold > 0 {
+		s.burn = newBurnProfiler(burnConfig{
+			Dir:       cfg.DebugDir,
+			Threshold: cfg.BurnThreshold,
+			BurnRate:  s.burnRate5m,
+			Traces:    s.traces.Snapshot,
+			Log:       cfg.AccessLog,
+		})
+	}
+	return s, nil
+}
+
+// burnRate5m reads the 5-minute SLO window's current burn rate, the
+// signal the burn profiler watches.
+func (s *Server) burnRate5m() float64 {
+	for _, w := range s.slo.Report().Windows {
+		if w.Window == "5m" {
+			return w.BurnRate
+		}
+	}
+	return 0
 }
 
 // FlushCache empties the prediction LRU. The registry calls it (via its
@@ -369,6 +431,8 @@ func (s *Server) Handler() http.Handler {
 	route("/v1/admin/slo", s.adminEndpoint(http.MethodGet, false, s.adminSLO))
 	route("/v1/admin/drift", s.adminEndpoint(http.MethodGet, false, s.adminDrift))
 	route("/v1/admin/quality", s.adminEndpoint(http.MethodGet, false, s.adminQuality))
+	route("/v1/admin/trace", s.adminEndpoint(http.MethodGet, false, s.adminTraceList))
+	route("/v1/admin/trace/", s.adminEndpoint(http.MethodGet, false, s.adminTraceGet))
 	return mux
 }
 
@@ -482,7 +546,9 @@ func (s *Server) limited(h func(ctx context.Context, r *http.Request) (any, erro
 		}
 		s.requests.Inc()
 		start := time.Now()
-		defer func() { s.latency.Observe(time.Since(start).Seconds()) }()
+		defer func() {
+			s.latency.ObserveExemplar(time.Since(start).Seconds(), obs.TraceID(r.Context()))
+		}()
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 		defer cancel()
@@ -562,15 +628,18 @@ type answered struct {
 // requests when it holds the full vector — both models then score the
 // memoized features, which is exactly what the parse path would feed
 // them.
-func (s *Server) predictBody(lm LiveModel, cand LiveModel, shadowed bool, scratch *features.Scratch, ps *sparse.ParseScratch, body []byte) (answered, error) {
+func (s *Server) predictBody(ctx context.Context, lm LiveModel, cand LiveModel, shadowed bool, scratch *features.Scratch, ps *sparse.ParseScratch, body []byte) (answered, error) {
 	sum := sha256.Sum256(body)
 	key := contentKeySum("matrix", lm.Hash, sum)
 	if !shadowed {
-		if pred, ok := s.cache.Get(key); ok {
+		_, csp := obs.StartChild(ctx, "cache")
+		pred, ok := s.cache.Get(key)
+		csp.End()
+		if ok {
 			s.cacheHits.Inc()
 			// Cache hits never parse the body, so the drift monitor only
 			// sees the label stream (vec is nil).
-			s.recordPrediction(lm.Arch, pred, nil)
+			s.recordPrediction(ctx, lm.Arch, pred, nil)
 			return answered{pred: pred, cached: true}, nil
 		}
 	}
@@ -581,22 +650,34 @@ func (s *Server) predictBody(lm LiveModel, cand LiveModel, shadowed bool, scratc
 	memoKey := ""
 	if s.featMemo.Enabled() {
 		memoKey = string(sum[:16])
+		mctx, msp := obs.StartChild(ctx, "memo")
 		if e, ok := s.featMemo.Get(memoKey); ok {
-			if ans, served := s.answerFromMemo(lm, cand, shadowed, key, e); served {
+			// The prediction cache missed but the features were already
+			// known — a model swapped, an arch changed, or caching is off.
+			// That disposition is worth a trace, so flag it for the store.
+			noteMemoThenMiss(ctx)
+			if ans, served := s.answerFromMemo(mctx, lm, cand, shadowed, key, e); served {
+				msp.SetMetric("hit", 1)
+				msp.End()
 				s.memoHits.Inc()
 				return ans, nil
 			}
 		}
+		msp.SetMetric("hit", 0)
+		msp.End()
 		s.memoMisses.Inc()
 	}
+	_, psp := obs.StartChild(ctx, "parse")
+	psp.SetMetric("bytes", float64(len(body)))
 	m, err := sparse.ReadMatrixMarketBytesScratch(body, ps)
+	psp.End()
 	if err != nil {
 		return answered{}, badRequest("parsing MatrixMarket body: %v", err)
 	}
 	// Cheap-first: a cascade artifact answers from the O(rows) features
 	// when confident and only pays full extraction on fall-through, so
 	// vec is nil for cheap answers.
-	pred, vec, err := lm.Artifact.PredictMatrixScratch(m, scratch)
+	pred, vec, err := lm.Artifact.PredictMatrixScratchCtx(ctx, m, scratch)
 	if err != nil {
 		return answered{}, badRequest("%v", err)
 	}
@@ -607,9 +688,13 @@ func (s *Server) predictBody(lm LiveModel, cand LiveModel, shadowed bool, scratc
 		// which stage answered, so shadow agreement still compares whole
 		// models (shadowing temporarily forfeits the cascade's win).
 		if vec == nil {
+			_, fsp := obs.StartChild(ctx, "features/full")
 			vec = scratch.Extract(m).Slice()
+			fsp.End()
 		}
+		_, ssp := obs.StartChild(ctx, "shadow")
 		ans.cand, ans.candOK = s.scoreShadow(lm.Arch, cand, pred, vec)
+		ssp.End()
 	} else {
 		s.cache.Put(key, pred)
 	}
@@ -626,7 +711,7 @@ func (s *Server) predictBody(lm LiveModel, cand LiveModel, shadowed bool, scratc
 	}
 	// Cheap answers never computed the 21-feature vector; like a cache
 	// hit, the drift monitor then advances only its label stream.
-	s.recordPrediction(lm.Arch, pred, vec)
+	s.recordPrediction(ctx, lm.Arch, pred, vec)
 	return ans, nil
 }
 
@@ -635,23 +720,27 @@ func (s *Server) predictBody(lm LiveModel, cand LiveModel, shadowed bool, scratc
 // cannot answer this request (cheap-only entry but the cascade is not
 // confident, a shadow needs the full vector, or the model rejected the
 // vector) and the caller takes the parse path.
-func (s *Server) answerFromMemo(lm LiveModel, cand LiveModel, shadowed bool, cacheKey string, e featEntry) (answered, bool) {
+func (s *Server) answerFromMemo(ctx context.Context, lm LiveModel, cand LiveModel, shadowed bool, cacheKey string, e featEntry) (answered, bool) {
 	if e.full != nil {
 		// Artifact.Predict routes the full vector through the cascade
 		// exactly like the parse path would, so stage, confidence and
 		// label come out identical to a fresh computation.
+		_, psp := obs.StartChild(ctx, "predict")
 		pred, err := lm.Artifact.Predict(e.full)
+		psp.End()
 		if err != nil {
 			return answered{}, false // let the parse path report it
 		}
 		s.noteCascade(lm.Artifact, pred)
 		ans := answered{pred: pred}
 		if shadowed {
+			_, ssp := obs.StartChild(ctx, "shadow")
 			ans.cand, ans.candOK = s.scoreShadow(lm.Arch, cand, pred, e.full)
+			ssp.End()
 		} else {
 			s.cache.Put(cacheKey, pred)
 		}
-		s.recordPrediction(lm.Arch, pred, e.full)
+		s.recordPrediction(ctx, lm.Arch, pred, e.full)
 		return ans, true
 	}
 	// Cheap-only entry: answer only in exactly the situation the parse
@@ -662,7 +751,9 @@ func (s *Server) answerFromMemo(lm LiveModel, cand LiveModel, shadowed bool, cac
 	if shadowed || c == nil || !c.usesCheapOrder() || len(e.cheap) != features.CheapCount {
 		return answered{}, false
 	}
+	_, dsp := obs.StartChild(ctx, "cascade")
 	label, conf, err := c.decide(e.cheap)
+	dsp.End()
 	if err != nil || conf < c.Threshold || label < 0 || label >= len(lm.Artifact.Formats) {
 		return answered{}, false
 	}
@@ -678,7 +769,7 @@ func (s *Server) answerFromMemo(lm LiveModel, cand LiveModel, shadowed bool, cac
 	s.cache.Put(cacheKey, pred)
 	// Like any cheap answer, the 21-feature vector was never computed:
 	// the drift monitor advances only its label stream.
-	s.recordPrediction(lm.Arch, pred, nil)
+	s.recordPrediction(ctx, lm.Arch, pred, nil)
 	return ans, true
 }
 
@@ -724,10 +815,12 @@ func (s *Server) cascadeStats() CascadeStats {
 // counter plus the drift monitor. vec may be nil when the request body
 // was never parsed (a cache hit); the drift monitor then advances only
 // its predicted-format stream.
-func (s *Server) recordPrediction(arch string, pred Prediction, vec []float64) {
+func (s *Server) recordPrediction(ctx context.Context, arch string, pred Prediction, vec []float64) {
 	s.predictions.With(arch, pred.Format).Inc()
 	if s.drift != nil {
+		_, sp := obs.StartChild(ctx, "drift")
 		s.drift.RecordServed(arch, pred, vec)
+		sp.End()
 	}
 }
 
@@ -762,7 +855,7 @@ func (s *Server) predictMatrix(ctx context.Context, r *http.Request) (any, error
 	var scratch features.Scratch
 	ps := sparse.GetParseScratch()
 	defer sparse.PutParseScratch(ps)
-	ans, err := s.predictBody(lm, cand, shadowed, &scratch, ps, body)
+	ans, err := s.predictBody(ctx, lm, cand, shadowed, &scratch, ps, body)
 	if err != nil {
 		return nil, err
 	}
@@ -810,14 +903,16 @@ func (s *Server) predictFeatures(ctx context.Context, r *http.Request) (any, err
 			noteCached(ctx, true)
 			// The feature vector is in hand even on a hit, so the drift
 			// monitor sees the full observation.
-			s.recordPrediction(lm.Arch, pred, req.Features)
+			s.recordPrediction(ctx, lm.Arch, pred, req.Features)
 			s.notePending(ctx, "", lm, pred, Prediction{}, false)
 			s.captureRequest(ctx, "/v1/predict/features", lm, r.Header.Get("Content-Type"), body, []string{pred.Format})
 			return predictResponse{Prediction: pred, Arch: lm.Arch, ModelHash: lm.Hash, Cached: true}, nil
 		}
 	}
 	s.cacheMisses.Inc()
+	_, psp := obs.StartChild(ctx, "predict")
 	pred, err := lm.Artifact.Predict(req.Features)
+	psp.End()
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
@@ -825,11 +920,13 @@ func (s *Server) predictFeatures(ctx context.Context, r *http.Request) (any, err
 	var candPred Prediction
 	var candOK bool
 	if shadowed {
+		_, ssp := obs.StartChild(ctx, "shadow")
 		candPred, candOK = s.scoreShadow(lm.Arch, cand, pred, req.Features)
+		ssp.End()
 	} else {
 		s.cache.Put(key, pred)
 	}
-	s.recordPrediction(lm.Arch, pred, req.Features)
+	s.recordPrediction(ctx, lm.Arch, pred, req.Features)
 	s.notePending(ctx, "", lm, pred, candPred, candOK)
 	s.captureRequest(ctx, "/v1/predict/features", lm, r.Header.Get("Content-Type"), body, []string{pred.Format})
 	return predictResponse{Prediction: pred, Arch: lm.Arch, ModelHash: lm.Hash, Cached: false}, nil
@@ -852,6 +949,9 @@ func (s *Server) Run(ctx context.Context, addr string, ready func(bound string))
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       s.cfg.Timeout,
 		WriteTimeout:      s.cfg.Timeout,
+	}
+	if s.burn != nil {
+		go s.burn.loop(ctx, 10*time.Second)
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

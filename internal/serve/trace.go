@@ -32,6 +32,10 @@ type reqInfo struct {
 	arch      string
 	modelHash string
 	cached    bool
+	// memoThenMiss marks the trace-worthy disposition where the
+	// prediction cache missed but the feature memo already held the
+	// body's vector — a model swap, arch change, or disabled cache.
+	memoThenMiss bool
 }
 
 type reqInfoKey struct{}
@@ -59,6 +63,15 @@ func noteCached(ctx context.Context, cached bool) {
 	}
 }
 
+// noteMemoThenMiss flags the request for tail-sampling: the feature
+// memo hit after a prediction-cache miss, which usually means a model
+// just swapped under live traffic — exactly the requests worth a trace.
+func noteMemoThenMiss(ctx context.Context) {
+	if ri := reqInfoFrom(ctx); ri != nil {
+		ri.memoThenMiss = true
+	}
+}
+
 // newTraceID mints a 16-hex-digit random trace ID. On the (never
 // observed) chance the system randomness source fails, a constant
 // sentinel keeps requests flowing — tracing is diagnostics, not
@@ -72,13 +85,16 @@ func newTraceID() string {
 }
 
 // logThis applies access-log sampling: with -access-log-sample N only
-// every Nth request is logged, but error responses and feedback are
-// always logged — errors are what the log is for, and feedback closes
-// the quality loop, so its trail must stay complete even under replay
-// or load-test traffic.
-func (s *Server) logThis(endpoint string, status int) bool {
+// every Nth request is logged, but error responses, feedback and slow
+// requests are always logged — errors are what the log is for,
+// feedback closes the quality loop so its trail must stay complete
+// even under replay or load-test traffic, and a slow request that the
+// sampler happened to skip is precisely the one an operator greps for.
+// "Slow" is the trace store's static threshold, so the log and the
+// tail sampler agree on the word.
+func (s *Server) logThis(endpoint string, status int, slow bool) bool {
 	n := int64(s.cfg.AccessLogSample)
-	if n <= 1 || status >= 400 || endpoint == "/v1/feedback" {
+	if n <= 1 || status >= 400 || slow || endpoint == "/v1/feedback" {
 		return true
 	}
 	return s.logSeq.Add(1)%n == 1
@@ -102,8 +118,17 @@ func (w *statusWriter) WriteHeader(status int) {
 // cardinality fixed. Probe and scrape routes (/healthz, /readyz,
 // /metrics) are measured and logged but excluded from the SLO windows,
 // which track served traffic, not monitoring overhead.
+//
+// Prediction endpoints additionally get an always-on root span: the
+// handlers hang stage children (parse, memo, features, cascade,
+// predict, shadow, drift) off the request context, and the completed
+// tree is offered to the tail-sampling trace store when one is
+// configured. The root is built with StartAlways — span cost on this
+// path is bounded and the store decides after the fact whether the
+// tree is worth keeping.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	inSLO := len(endpoint) >= 4 && endpoint[:4] == "/v1/"
+	traced := s.traces != nil && len(endpoint) >= 12 && endpoint[:12] == "/v1/predict/"
 	return func(w http.ResponseWriter, r *http.Request) {
 		trace := r.Header.Get("X-Request-ID")
 		if trace == "" {
@@ -116,6 +141,13 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		info := &reqInfo{}
 		ctx := obs.WithTraceID(r.Context(), trace)
 		ctx = context.WithValue(ctx, reqInfoKey{}, info)
+		var root *obs.Span
+		if traced {
+			ctx, root = obs.StartAlways(ctx, endpoint)
+			if hop, err := strconv.Atoi(r.Header.Get(obs.TraceHopHeader)); err == nil && hop > 0 {
+				root.SetMetric("hop", float64(hop))
+			}
+		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 
 		start := time.Now()
@@ -126,12 +158,26 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		if arch == "" {
 			arch = "none"
 		}
-		s.httpLatency.With(endpoint, arch).Observe(dur.Seconds())
+		s.httpLatency.With(endpoint, arch).ObserveExemplar(dur.Seconds(), trace)
 		s.httpRequests.With(endpoint, strconv.Itoa(sw.status)).Inc()
 		if inSLO {
 			s.slo.Observe(dur.Seconds(), sw.status >= 500)
 		}
-		if s.accessLog != nil && s.logThis(endpoint, sw.status) {
+		slow := s.cfg.SlowRequest > 0 && dur >= s.cfg.SlowRequest
+		if root != nil {
+			root.SetMetric("status", float64(sw.status))
+			if sd := root.EndData(); sd != nil {
+				var forced []string
+				if info.memoThenMiss {
+					forced = append(forced, obs.KeepMemoMiss)
+				}
+				if r.Header.Get(obs.TraceKeepHeader) != "" {
+					forced = append(forced, obs.KeepRequested)
+				}
+				s.traces.Offer(sd, sw.status, forced...)
+			}
+		}
+		if s.accessLog != nil && s.logThis(endpoint, sw.status, slow) {
 			s.accessLog.LogAttrs(context.Background(), slog.LevelInfo, "request",
 				slog.String("trace_id", trace),
 				slog.String("method", r.Method),
